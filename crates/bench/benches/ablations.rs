@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! scheduler strategy, sleep states, tensor-parallel pipelining, and GPU
+//! batch size. Each bench reports both wall time and (via labels) the
+//! design points being compared; the companion integration tests assert
+//! the *quality* differences (energy, latency) these choices make.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socc_cluster::orchestrator::{Orchestrator, OrchestratorConfig};
+use socc_cluster::scheduler;
+use socc_cluster::workload::WorkloadSpec;
+use socc_dl::parallel::{tensor_parallel, CollabConfig};
+use socc_dl::{DType, Engine, ModelId};
+use socc_sim::time::{SimDuration, SimTime};
+
+/// A day of diurnal live-stream churn under each scheduler strategy.
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/scheduler");
+    group.sample_size(10);
+    for name in ["bin-pack", "round-robin", "spread"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut orch = Orchestrator::new(OrchestratorConfig {
+                    scheduler: scheduler::by_name(name).expect("known scheduler"),
+                    ..OrchestratorConfig::default()
+                });
+                let video = socc_video::vbench::by_id("V4").expect("vbench");
+                let mut ids = Vec::new();
+                // Ramp up 120 streams, ramp down, measure energy.
+                for i in 0..120u64 {
+                    orch.advance_to(SimTime::from_secs(i * 10));
+                    if let Ok(id) = orch.submit(WorkloadSpec::LiveStreamCpu {
+                        video: video.clone(),
+                    }) {
+                        ids.push(id);
+                    }
+                }
+                for (i, id) in ids.drain(..).enumerate() {
+                    orch.advance_to(SimTime::from_secs(1200 + i as u64 * 10));
+                    let _ = orch.finish(id);
+                }
+                orch.advance_to(SimTime::from_secs(3600));
+                std::hint::black_box(orch.energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sleep-state management on vs off over an idle-heavy day.
+fn bench_sleep_states(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/sleep");
+    group.sample_size(10);
+    for (label, sleep_after) in [
+        ("enabled", Some(SimDuration::from_secs(30))),
+        ("disabled", None),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &sleep_after,
+            |b, &sleep| {
+                b.iter(|| {
+                    let mut orch = Orchestrator::new(OrchestratorConfig {
+                        sleep_after: sleep,
+                        ..OrchestratorConfig::default()
+                    });
+                    let video = socc_video::vbench::by_id("V1").expect("vbench");
+                    let id = orch
+                        .submit(WorkloadSpec::LiveStreamCpu { video })
+                        .expect("one stream fits");
+                    orch.advance_to(SimTime::from_secs(600));
+                    orch.finish(id).expect("deployed");
+                    orch.advance_to(SimTime::from_secs(7200));
+                    std::hint::black_box(orch.energy())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Tensor-parallel planning, pipelined vs not, 1–5 SoCs.
+fn bench_collab_pipelining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/collab-pipelining");
+    for pipelined in [false, true] {
+        let label = if pipelined { "pipelined" } else { "sequential" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pipelined, |b, &p| {
+            b.iter(|| {
+                for socs in 1..=5 {
+                    std::hint::black_box(tensor_parallel(
+                        ModelId::ResNet50,
+                        CollabConfig { socs, pipelined: p },
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// TensorRT batch-size sweep (latency/efficiency trade of §5.1).
+fn bench_gpu_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/gpu-batch");
+    for batch in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                for model in ModelId::ALL {
+                    std::hint::black_box(Engine::TensorRtA40.samples_per_joule(
+                        model,
+                        DType::Fp32,
+                        batch,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_sleep_states,
+    bench_collab_pipelining,
+    bench_gpu_batching
+);
+criterion_main!(benches);

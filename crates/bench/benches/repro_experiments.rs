@@ -1,0 +1,18 @@
+//! Criterion benches: one group per paper table/figure, timing the full
+//! regeneration of each artifact's data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_repro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repro");
+    group.sample_size(10);
+    for id in socc_bench::repro::ALL_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| std::hint::black_box(socc_bench::repro::run(id).expect("known id")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repro);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the simulation substrates themselves: event queue,
+//! max-min fairness allocator, flow simulator, and FLOP counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socc_net::fairness::{max_min_fair, FlowDemand};
+use socc_net::sim::FlowNet;
+use socc_net::tcp::TcpModel;
+use socc_net::topology::Topology;
+use socc_sim::event::EventQueue;
+use socc_sim::time::SimTime;
+use socc_sim::units::{DataRate, DataSize};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("substrate/event-queue-100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000_007), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/max-min-fair");
+    for flows in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &n| {
+            let fabric = Topology::soc_cluster(60);
+            let capacity: std::collections::HashMap<_, _> = (0..fabric.topology.link_count()
+                as u32)
+                .map(|i| {
+                    let id = socc_net::LinkId(i);
+                    (id, fabric.topology.link(id).capacity)
+                })
+                .collect();
+            let demands: Vec<FlowDemand> = (0..n)
+                .map(|i| FlowDemand {
+                    route: fabric
+                        .topology
+                        .route(fabric.socs[i % 60], fabric.external)
+                        .expect("routable"),
+                    demand: None,
+                })
+                .collect();
+            b.iter(|| std::hint::black_box(max_min_fair(&demands, &capacity)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_sim(c: &mut Criterion) {
+    c.bench_function("substrate/flownet-120-transfers", |b| {
+        b.iter(|| {
+            let fabric = Topology::soc_cluster(60);
+            let mut net = FlowNet::new(fabric.topology.clone(), TcpModel::inter_soc());
+            for i in 0..120 {
+                net.start_transfer(
+                    fabric.socs[i % 60],
+                    fabric.socs[(i + 17) % 60],
+                    DataSize::megabytes(4.0),
+                )
+                .expect("routable");
+            }
+            std::hint::black_box(net.run_to_idle())
+        })
+    });
+}
+
+fn bench_streams_reallocation(c: &mut Criterion) {
+    c.bench_function("substrate/flownet-300-streams", |b| {
+        b.iter(|| {
+            let fabric = Topology::soc_cluster(60);
+            let mut net = FlowNet::new(fabric.topology.clone(), TcpModel::inter_soc());
+            for i in 0..300 {
+                net.add_stream(fabric.socs[i % 60], fabric.external, DataRate::mbps(20.0))
+                    .expect("routable");
+            }
+            std::hint::black_box(net.active_streams())
+        })
+    });
+}
+
+fn bench_flop_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/model-graph");
+    for model in socc_dl::ModelId::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &model,
+            |b, &m| {
+                b.iter(|| {
+                    let g = m.graph();
+                    std::hint::black_box((g.gflops(), g.params(), g.halo_bytes_per_boundary()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fairness,
+    bench_flow_sim,
+    bench_streams_reallocation,
+    bench_flop_counting
+);
+criterion_main!(benches);

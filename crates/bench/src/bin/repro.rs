@@ -1,0 +1,31 @@
+//! Reproduction driver: prints the paper's tables and figures.
+//!
+//! Usage: `repro <id>...` or `repro all`. Ids: fig1, tab1, tab2, fig5,
+//! tab3, fig6..fig14, tab4..tab7.
+
+use socc_bench::repro;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        repro::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match repro::run(id) {
+            Some(out) => {
+                println!("################ {id} ################");
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {:?})", repro::ALL_IDS);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense-series generator: fine-grained figure data as CSV on stdout.
+//!
+//! Usage:
+//!   sweep fig12 \[points\] \[max_fps\]   — cluster vs A100 efficiency curve
+//!   sweep gaming \[seeds\]             — sleep-savings ensemble across seeds
+//!   sweep fig7 `<video-id>`          — per-stream TpE series to capacity
+
+use socc_bench::sweep::{dense_fig12, gaming_ensemble};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    match args.first().map(String::as_str) {
+        Some("fig12") => {
+            let points = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+            let max_fps = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1800.0);
+            println!("offered_fps,cluster_samples_per_joule,a100_samples_per_joule");
+            for (load, cluster, a100) in dense_fig12(points, max_fps, workers) {
+                println!("{load:.1},{cluster:.4},{a100:.4}");
+            }
+        }
+        Some("gaming") => {
+            let seeds = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16u64);
+            println!("seed,sleep_savings");
+            for (seed, savings) in gaming_ensemble(0..seeds, workers).iter().enumerate() {
+                println!("{seed},{savings:.4}");
+            }
+        }
+        Some("fig7") => {
+            let id = args.get(1).map(String::as_str).unwrap_or("V4");
+            let Some(video) = socc_video::vbench::by_id(id) else {
+                eprintln!("unknown video id {id} (V1..V6)");
+                std::process::exit(2);
+            };
+            println!("streams,soc_cpu_tpe,intel_tpe,a40_tpe");
+            for p in socc_cluster::experiments::fig7_sweep(&video, 60) {
+                println!("{},{:.4},{:.4},{:.4}", p.streams, p.soc_cpu, p.intel, p.a40);
+            }
+        }
+        _ => {
+            eprintln!("usage: sweep <fig12 [points] [max_fps] | gaming [seeds] | fig7 <video-id>>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Extension-study driver: the §8 what-ifs and operational analyses.
+//!
+//! Usage: `whatif <id>...` or `whatif all`. Ids: generations, fabric,
+//! partitioning, tail, consolidation, sensitivity, gaming, dvfs.
+
+use socc_bench::extensions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        extensions::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match extensions::run(id) {
+            Some(out) => {
+                println!("################ {id} ################");
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown study id: {id} (known: {:?})", extensions::ALL_IDS);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,12 @@
+//! `socc-bench` — the reproduction harness.
+//!
+//! One function per paper table/figure lives in [`repro`]; the `repro`
+//! binary prints them (`cargo run -p socc-bench --bin repro -- fig6`), and
+//! the Criterion benches in `benches/` time the underlying simulations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod extensions;
+pub mod repro;
+pub mod sweep;

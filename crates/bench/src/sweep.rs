@@ -1,0 +1,122 @@
+//! Parallel parameter sweeps: fan experiment points across worker threads.
+//!
+//! Fine-grained figure series (a 200-point Fig. 12 curve, a seed ensemble
+//! of gaming replays) are embarrassingly parallel; `parallel_map` runs them
+//! on a crossbeam scope while preserving input order.
+
+use crossbeam::thread;
+
+/// Maps `f` over `inputs` using up to `workers` threads, preserving order.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the sweep is only as good as its points).
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1);
+    let n = inputs.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    if chunk == 0 {
+        return Vec::new();
+    }
+    thread::scope(|scope| {
+        for (inputs_chunk, results_chunk) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (input, slot) in inputs_chunk.iter().zip(results_chunk.iter_mut()) {
+                    *slot = Some(f(input));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// A dense Fig. 12-style load sweep computed in parallel: returns
+/// `(offered_fps, cluster samples/J, A100 samples/J)` triples.
+pub fn dense_fig12(points: usize, max_fps: f64, workers: usize) -> Vec<(f64, f64, f64)> {
+    use socc_cluster::experiments::cluster_serving_efficiency;
+    use socc_dl::serving::ServingUnit;
+    use socc_dl::{DType, Engine, ModelId};
+    let loads: Vec<f64> = (1..=points)
+        .map(|i| max_fps * i as f64 / points as f64)
+        .collect();
+    parallel_map(loads, workers, |&load| {
+        let (cluster, _) =
+            cluster_serving_efficiency(ModelId::ResNet50, DType::Fp32, load).unwrap_or((0.0, 0));
+        let a100 = ServingUnit::new(Engine::TensorRtA100, ModelId::ResNet50, DType::Fp32)
+            .at_load(load)
+            .map(|r| r.samples_per_joule())
+            .unwrap_or(0.0);
+        (load, cluster, a100)
+    })
+}
+
+/// An ensemble of gaming replays across seeds, in parallel: returns each
+/// seed's sleep-savings fraction.
+pub fn gaming_ensemble(seeds: std::ops::Range<u64>, workers: usize) -> Vec<f64> {
+    use socc_cluster::gaming::replay_gaming_trace;
+    use socc_sim::time::SimDuration;
+    let seeds: Vec<u64> = seeds.collect();
+    parallel_map(seeds, workers, |&seed| {
+        replay_gaming_trace(12, SimDuration::from_mins(30), 10.0, seed).sleep_savings()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), 7, |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_many() {
+        let inputs: Vec<u64> = (1..=40).collect();
+        let a = parallel_map(inputs.clone(), 1, |&x| x * x);
+        let b = parallel_map(inputs, 8, |&x| x * x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dense_fig12_crossover_exists() {
+        let series = dense_fig12(60, 1800.0, 8);
+        assert_eq!(series.len(), 60);
+        // Cluster wins at the left edge; the A100 wins at the right.
+        let first = series.first().unwrap();
+        let last = series.last().unwrap();
+        assert!(first.1 > first.2, "cluster should win at light load");
+        assert!(last.2 > last.1, "A100 should win near saturation");
+        // Loads are ascending.
+        for w in series.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn gaming_ensemble_consistent_savings() {
+        let savings = gaming_ensemble(0..6, 6);
+        assert_eq!(savings.len(), 6);
+        for (seed, s) in savings.iter().enumerate() {
+            assert!((0.05..=0.9).contains(s), "seed {seed}: savings {s}");
+        }
+    }
+}

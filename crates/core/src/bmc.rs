@@ -1,0 +1,344 @@
+//! Baseboard Management Controller: sensor registry and wire protocol.
+//!
+//! The cluster's BMC "monitors and controls the computing units and all
+//! related server status, such as power supplies, temperature, and hardware
+//! failures", with control messages over I2C/USB/UART (§2.2), and "we
+//! utilize BMC's API (implemented atop the I2C protocol) to measure power
+//! consumption of the whole server" (§3). This module implements that API
+//! as a real framed protocol — encode/decode with checksums — over an
+//! in-memory sensor snapshot that the cluster refreshes.
+
+use serde::{Deserialize, Serialize};
+use socc_hw::power::PowerState;
+use socc_sim::time::SimTime;
+use socc_sim::units::Power;
+
+/// Management commands addressed to the BMC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BmcCommand {
+    /// Read one SoC's power in centiwatts.
+    ReadSocPower(u8),
+    /// Read whole-chassis power in centiwatts.
+    ReadChassisPower,
+    /// Read one SoC's junction temperature in deci-°C.
+    ReadSocTemp(u8),
+    /// Command a SoC power-state change.
+    SetSocPowerState(u8, PowerState),
+    /// Read the fan wall's duty cycle in percent.
+    ReadFanDuty,
+    /// Read the number of logged events.
+    ReadEventCount,
+}
+
+/// Responses returned by the BMC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BmcResponse {
+    /// Power in centiwatts.
+    PowerCw(u32),
+    /// Temperature in deci-°C.
+    TempDc(u16),
+    /// Command acknowledged.
+    Ack,
+    /// Fan duty in percent.
+    FanDutyPct(u8),
+    /// Event count.
+    Count(u32),
+}
+
+/// Protocol decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmcProtocolError {
+    /// Frame shorter than the fixed header.
+    ShortFrame,
+    /// Checksum mismatch.
+    BadChecksum,
+    /// Unknown command byte.
+    UnknownCommand(u8),
+    /// Sensor index out of range.
+    BadAddress(u8),
+}
+
+impl core::fmt::Display for BmcProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BmcProtocolError::ShortFrame => write!(f, "frame too short"),
+            BmcProtocolError::BadChecksum => write!(f, "checksum mismatch"),
+            BmcProtocolError::UnknownCommand(c) => write!(f, "unknown command 0x{c:02x}"),
+            BmcProtocolError::BadAddress(a) => write!(f, "bad sensor address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for BmcProtocolError {}
+
+const FRAME_START: u8 = 0xB5;
+
+fn power_state_byte(state: PowerState) -> u8 {
+    match state {
+        PowerState::Off => 0,
+        PowerState::Sleep => 1,
+        PowerState::Idle => 2,
+        PowerState::Active => 3,
+    }
+}
+
+fn power_state_from_byte(b: u8) -> Option<PowerState> {
+    Some(match b {
+        0 => PowerState::Off,
+        1 => PowerState::Sleep,
+        2 => PowerState::Idle,
+        3 => PowerState::Active,
+        _ => return None,
+    })
+}
+
+/// Encodes a command as a wire frame: `[START, cmd, len, payload…, xor]`.
+pub fn encode_command(cmd: BmcCommand) -> Vec<u8> {
+    let (op, payload): (u8, Vec<u8>) = match cmd {
+        BmcCommand::ReadSocPower(i) => (0x01, vec![i]),
+        BmcCommand::ReadChassisPower => (0x02, vec![]),
+        BmcCommand::ReadSocTemp(i) => (0x03, vec![i]),
+        BmcCommand::SetSocPowerState(i, s) => (0x04, vec![i, power_state_byte(s)]),
+        BmcCommand::ReadFanDuty => (0x05, vec![]),
+        BmcCommand::ReadEventCount => (0x06, vec![]),
+    };
+    let mut frame = vec![FRAME_START, op, payload.len() as u8];
+    frame.extend_from_slice(&payload);
+    let checksum = frame.iter().fold(0u8, |a, b| a ^ b);
+    frame.push(checksum);
+    frame
+}
+
+/// Decodes a wire frame back into a command.
+pub fn decode_command(frame: &[u8]) -> Result<BmcCommand, BmcProtocolError> {
+    if frame.len() < 4 {
+        return Err(BmcProtocolError::ShortFrame);
+    }
+    let (body, checksum) = frame.split_at(frame.len() - 1);
+    if body.iter().fold(0u8, |a, b| a ^ b) != checksum[0] {
+        return Err(BmcProtocolError::BadChecksum);
+    }
+    if body[0] != FRAME_START {
+        return Err(BmcProtocolError::ShortFrame);
+    }
+    let len = body[2] as usize;
+    if body.len() != 3 + len {
+        return Err(BmcProtocolError::ShortFrame);
+    }
+    let payload = &body[3..];
+    match body[1] {
+        0x01 => Ok(BmcCommand::ReadSocPower(payload[0])),
+        0x02 => Ok(BmcCommand::ReadChassisPower),
+        0x03 => Ok(BmcCommand::ReadSocTemp(payload[0])),
+        0x04 => {
+            let state = power_state_from_byte(payload[1])
+                .ok_or(BmcProtocolError::UnknownCommand(payload[1]))?;
+            Ok(BmcCommand::SetSocPowerState(payload[0], state))
+        }
+        0x05 => Ok(BmcCommand::ReadFanDuty),
+        0x06 => Ok(BmcCommand::ReadEventCount),
+        other => Err(BmcProtocolError::UnknownCommand(other)),
+    }
+}
+
+/// A logged management event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BmcEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Event description.
+    pub message: String,
+}
+
+/// The BMC: sensor snapshot plus event log.
+#[derive(Debug, Clone, Default)]
+pub struct Bmc {
+    soc_power_w: Vec<f64>,
+    soc_temp_c: Vec<f64>,
+    chassis_power_w: f64,
+    fan_duty: f64,
+    events: Vec<BmcEvent>,
+    /// Power-state change requests produced by protocol commands, drained
+    /// by the cluster control loop.
+    pending_state_changes: Vec<(usize, PowerState)>,
+}
+
+impl Bmc {
+    /// Creates a BMC for `soc_count` SoCs.
+    pub fn new(soc_count: usize) -> Self {
+        Self {
+            soc_power_w: vec![0.0; soc_count],
+            soc_temp_c: vec![25.0; soc_count],
+            chassis_power_w: 0.0,
+            fan_duty: 0.25,
+            events: Vec::new(),
+            pending_state_changes: Vec::new(),
+        }
+    }
+
+    /// Refreshes the sensor snapshot (called by the cluster each step).
+    pub fn refresh(&mut self, soc_power: &[Power], chassis: Power, fan_duty: f64) {
+        for (slot, p) in self.soc_power_w.iter_mut().zip(soc_power) {
+            *slot = p.as_watts();
+        }
+        self.chassis_power_w = chassis.as_watts();
+        self.fan_duty = fan_duty;
+    }
+
+    /// Updates one SoC's temperature reading.
+    pub fn set_temp(&mut self, soc: usize, temp_c: f64) {
+        if let Some(t) = self.soc_temp_c.get_mut(soc) {
+            *t = temp_c;
+        }
+    }
+
+    /// Appends an event to the log.
+    pub fn log(&mut self, at: SimTime, message: impl Into<String>) {
+        self.events.push(BmcEvent {
+            at,
+            message: message.into(),
+        });
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[BmcEvent] {
+        &self.events
+    }
+
+    /// Drains queued power-state change requests.
+    pub fn take_state_changes(&mut self) -> Vec<(usize, PowerState)> {
+        std::mem::take(&mut self.pending_state_changes)
+    }
+
+    /// Executes one decoded command against the snapshot.
+    pub fn execute(&mut self, cmd: BmcCommand) -> Result<BmcResponse, BmcProtocolError> {
+        match cmd {
+            BmcCommand::ReadSocPower(i) => {
+                let w = self
+                    .soc_power_w
+                    .get(i as usize)
+                    .ok_or(BmcProtocolError::BadAddress(i))?;
+                Ok(BmcResponse::PowerCw((w * 100.0).round() as u32))
+            }
+            BmcCommand::ReadChassisPower => Ok(BmcResponse::PowerCw(
+                (self.chassis_power_w * 100.0).round() as u32,
+            )),
+            BmcCommand::ReadSocTemp(i) => {
+                let t = self
+                    .soc_temp_c
+                    .get(i as usize)
+                    .ok_or(BmcProtocolError::BadAddress(i))?;
+                Ok(BmcResponse::TempDc((t * 10.0).round() as u16))
+            }
+            BmcCommand::SetSocPowerState(i, state) => {
+                if (i as usize) >= self.soc_power_w.len() {
+                    return Err(BmcProtocolError::BadAddress(i));
+                }
+                self.pending_state_changes.push((i as usize, state));
+                Ok(BmcResponse::Ack)
+            }
+            BmcCommand::ReadFanDuty => Ok(BmcResponse::FanDutyPct(
+                (self.fan_duty * 100.0).round() as u8
+            )),
+            BmcCommand::ReadEventCount => Ok(BmcResponse::Count(self.events.len() as u32)),
+        }
+    }
+
+    /// Full wire round-trip: decode a frame, execute it.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Result<BmcResponse, BmcProtocolError> {
+        self.execute(decode_command(frame)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_all_commands() {
+        let cmds = [
+            BmcCommand::ReadSocPower(17),
+            BmcCommand::ReadChassisPower,
+            BmcCommand::ReadSocTemp(59),
+            BmcCommand::SetSocPowerState(3, PowerState::Sleep),
+            BmcCommand::ReadFanDuty,
+            BmcCommand::ReadEventCount,
+        ];
+        for cmd in cmds {
+            let frame = encode_command(cmd);
+            assert_eq!(decode_command(&frame).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut frame = encode_command(BmcCommand::ReadChassisPower);
+        frame[1] ^= 0x40;
+        assert_eq!(decode_command(&frame), Err(BmcProtocolError::BadChecksum));
+        assert_eq!(decode_command(&[0xB5]), Err(BmcProtocolError::ShortFrame));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let mut frame = vec![FRAME_START, 0x7F, 0];
+        let checksum = frame.iter().fold(0u8, |a, b| a ^ b);
+        frame.push(checksum);
+        assert_eq!(
+            decode_command(&frame),
+            Err(BmcProtocolError::UnknownCommand(0x7F))
+        );
+    }
+
+    #[test]
+    fn power_readout_in_centiwatts() {
+        let mut bmc = Bmc::new(2);
+        bmc.refresh(
+            &[Power::watts(6.61), Power::watts(2.0)],
+            Power::watts(589.0),
+            0.66,
+        );
+        let r = bmc
+            .handle_frame(&encode_command(BmcCommand::ReadSocPower(0)))
+            .unwrap();
+        assert_eq!(r, BmcResponse::PowerCw(661));
+        let r = bmc
+            .handle_frame(&encode_command(BmcCommand::ReadChassisPower))
+            .unwrap();
+        assert_eq!(r, BmcResponse::PowerCw(58_900));
+        let r = bmc
+            .handle_frame(&encode_command(BmcCommand::ReadFanDuty))
+            .unwrap();
+        assert_eq!(r, BmcResponse::FanDutyPct(66));
+    }
+
+    #[test]
+    fn bad_address_errors() {
+        let mut bmc = Bmc::new(2);
+        let err = bmc.execute(BmcCommand::ReadSocPower(9)).unwrap_err();
+        assert_eq!(err, BmcProtocolError::BadAddress(9));
+    }
+
+    #[test]
+    fn state_changes_are_queued() {
+        let mut bmc = Bmc::new(4);
+        bmc.execute(BmcCommand::SetSocPowerState(2, PowerState::Off))
+            .unwrap();
+        bmc.execute(BmcCommand::SetSocPowerState(3, PowerState::Active))
+            .unwrap();
+        let changes = bmc.take_state_changes();
+        assert_eq!(changes, vec![(2, PowerState::Off), (3, PowerState::Active)]);
+        assert!(bmc.take_state_changes().is_empty());
+    }
+
+    #[test]
+    fn event_log_counts() {
+        let mut bmc = Bmc::new(1);
+        bmc.log(SimTime::from_secs(1), "soc 0 flash failure");
+        bmc.log(SimTime::from_secs(2), "soc 0 powered off");
+        assert_eq!(
+            bmc.execute(BmcCommand::ReadEventCount).unwrap(),
+            BmcResponse::Count(2)
+        );
+        assert_eq!(bmc.events()[0].message, "soc 0 flash failure");
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault modelling: when do SoCs die, and what does it cost?
+//!
+//! §8: "mobile SoCs are not typically designed to operate at full speed and
+//! 24/7 in clouds … The failure of a single SoC subsystem, such as flash,
+//! can render the application and entire SoC unusable. Therefore, fault
+//! tolerance is crucial for the success of SoC Cluster."
+
+use serde::{Deserialize, Serialize};
+use socc_sim::rng::SimRng;
+use socc_sim::time::{SimDuration, SimTime};
+
+/// What broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Flash wear-out — the dominant failure mode for 24/7 mobile silicon.
+    Flash,
+    /// SoC lock-up requiring a power cycle.
+    SocHang,
+    /// DRAM failure.
+    Memory,
+}
+
+impl FaultKind {
+    /// Whether the SoC can return to service after remediation (a hung SoC
+    /// reboots; dead flash/DRAM means the slot stays dark until the PCB is
+    /// swapped).
+    pub fn recoverable(self) -> bool {
+        matches!(self, FaultKind::SocHang)
+    }
+}
+
+/// A scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// Which SoC slot.
+    pub soc: usize,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+/// Generates fault schedules from annual failure rates.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Annual probability of flash failure per SoC at full duty.
+    pub flash_afr: f64,
+    /// Annual rate of hangs per SoC.
+    pub hang_afr: f64,
+    /// Annual rate of DRAM failures per SoC.
+    pub memory_afr: f64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self {
+            flash_afr: socc_hw::memory::StorageModel::ufs_256gb().annual_failure_rate,
+            hang_afr: 0.10,
+            memory_afr: 0.008,
+        }
+    }
+}
+
+const SECS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+impl FaultInjector {
+    /// Draws the fault schedule for a fleet of `socs` SoCs over `horizon`,
+    /// sorted by time. Each (SoC, mode) pair fails at most once.
+    pub fn schedule(&self, socs: usize, horizon: SimDuration, rng: &mut SimRng) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for soc in 0..socs {
+            for (kind, afr) in [
+                (FaultKind::Flash, self.flash_afr),
+                (FaultKind::SocHang, self.hang_afr),
+                (FaultKind::Memory, self.memory_afr),
+            ] {
+                if afr <= 0.0 {
+                    continue;
+                }
+                // Exponential time-to-failure with rate = afr per year.
+                let ttf_secs = rng.exponential(afr / SECS_PER_YEAR);
+                if ttf_secs < horizon.as_secs_f64() {
+                    events.push(FaultEvent {
+                        at: SimTime::from_secs_f64(ttf_secs),
+                        soc,
+                        kind,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.soc));
+        events
+    }
+
+    /// Expected number of failed SoCs after `horizon` for a fleet.
+    pub fn expected_failures(&self, socs: usize, horizon: SimDuration) -> f64 {
+        let years = horizon.as_secs_f64() / SECS_PER_YEAR;
+        let rate = self.flash_afr + self.hang_afr + self.memory_afr;
+        socs as f64 * (1.0 - (-rate * years).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let mut rng = SimRng::seed(42);
+        let horizon = SimDuration::from_hours(24 * 365);
+        let events = FaultInjector::default().schedule(60, horizon, &mut rng);
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for e in &events {
+            assert!(e.at.as_secs_f64() < horizon.as_secs_f64());
+            assert!(e.soc < 60);
+        }
+    }
+
+    #[test]
+    fn yearly_failure_count_near_expectation() {
+        // 60 SoCs × (3.5% flash + 10% hang + 0.8% mem) ≈ 8.2 events/year.
+        let inj = FaultInjector::default();
+        let horizon = SimDuration::from_hours(24 * 365);
+        let mut total = 0usize;
+        let runs = 200;
+        for seed in 0..runs {
+            let mut rng = SimRng::seed(seed);
+            total += inj.schedule(60, horizon, &mut rng).len();
+        }
+        let mean = total as f64 / runs as f64;
+        let expected = 60.0 * (0.035 + 0.10 + 0.008);
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn expected_failures_formula() {
+        let inj = FaultInjector::default();
+        let one_year = SimDuration::from_hours(24 * 365);
+        let e = inj.expected_failures(60, one_year);
+        assert!((7.0..=9.0).contains(&e), "expected {e}");
+        assert_eq!(inj.expected_failures(0, one_year), 0.0);
+    }
+
+    #[test]
+    fn only_hangs_recover() {
+        assert!(FaultKind::SocHang.recoverable());
+        assert!(!FaultKind::Flash.recoverable());
+        assert!(!FaultKind::Memory.recoverable());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inj = FaultInjector::default();
+        let horizon = SimDuration::from_hours(24 * 30);
+        let a = inj.schedule(60, horizon, &mut SimRng::seed(7));
+        let b = inj.schedule(60, horizon, &mut SimRng::seed(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,618 @@
+//! The cluster orchestrator: admission, placement, power-state management,
+//! failover — the "advanced software that can orchestrate multiple SoCs"
+//! the paper calls for (§5.3, §8).
+
+use std::collections::HashMap;
+
+use socc_hw::power::PowerState;
+use socc_sim::series::{EnergyMeter, TimeSeries};
+use socc_sim::time::{SimDuration, SimTime};
+use socc_sim::units::{Energy, Power};
+
+use crate::cluster::{ClusterConfig, SocCluster};
+use crate::scheduler::{BinPack, Scheduler};
+use crate::soc::Demand;
+use crate::workload::{AdmissionError, SocProcessor, WorkloadId, WorkloadSpec};
+
+/// Orchestrator construction parameters.
+pub struct OrchestratorConfig {
+    /// Cluster hardware configuration.
+    pub cluster: ClusterConfig,
+    /// Placement strategy.
+    pub scheduler: Box<dyn Scheduler>,
+    /// Put an idle SoC to sleep after this long (None = never sleep).
+    pub sleep_after: Option<SimDuration>,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            scheduler: Box::new(BinPack),
+            sleep_after: Some(SimDuration::from_secs(30)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Placed {
+    spec: WorkloadSpec,
+    soc: usize,
+    demand: Demand,
+    completes: Option<SimTime>,
+}
+
+/// Orchestrator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrchestratorStats {
+    /// Workloads admitted.
+    pub admitted: u64,
+    /// Workloads rejected at admission.
+    pub rejected: u64,
+    /// Workloads that ran to completion (archive) or were finished.
+    pub completed: u64,
+    /// SoC wake-ups performed to place work.
+    pub wakeups: u64,
+    /// Workload migrations after faults.
+    pub migrations: u64,
+    /// Workloads dropped because no healthy SoC could absorb them.
+    pub dropped: u64,
+}
+
+/// The cluster orchestrator.
+pub struct Orchestrator {
+    cluster: SocCluster,
+    scheduler: Box<dyn Scheduler>,
+    sleep_after: Option<SimDuration>,
+    now: SimTime,
+    meter: EnergyMeter,
+    power_series: TimeSeries,
+    workloads: HashMap<WorkloadId, Placed>,
+    idle_since: Vec<Option<SimTime>>,
+    next_id: u64,
+    stats: OrchestratorStats,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over a fresh cluster.
+    pub fn new(config: OrchestratorConfig) -> Self {
+        let cluster = SocCluster::new(config.cluster);
+        let soc_count = cluster.soc_count();
+        let initial_power = cluster.total_power();
+        let mut power_series = TimeSeries::new();
+        power_series.push(SimTime::ZERO, initial_power.as_watts());
+        Self {
+            cluster,
+            scheduler: config.scheduler,
+            sleep_after: config.sleep_after,
+            now: SimTime::ZERO,
+            meter: EnergyMeter::new(SimTime::ZERO, initial_power),
+            power_series,
+            workloads: HashMap::new(),
+            idle_since: vec![Some(SimTime::ZERO); soc_count],
+            next_id: 0,
+            stats: OrchestratorStats::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable view of the cluster.
+    pub fn cluster(&self) -> &SocCluster {
+        &self.cluster
+    }
+
+    /// Orchestration statistics so far.
+    pub fn stats(&self) -> OrchestratorStats {
+        self.stats
+    }
+
+    /// Total server power right now.
+    pub fn power(&self) -> Power {
+        self.cluster.total_power()
+    }
+
+    /// Energy consumed by the whole server since t=0.
+    pub fn energy(&self) -> Energy {
+        self.meter.energy_at(self.now)
+    }
+
+    /// The recorded total-power time series.
+    pub fn power_series(&self) -> &TimeSeries {
+        &self.power_series
+    }
+
+    /// Number of currently deployed workloads.
+    pub fn active_workloads(&self) -> usize {
+        self.workloads.len()
+    }
+
+    fn record_power(&mut self) {
+        let p = self.cluster.total_power();
+        self.meter.set_power(self.now, p);
+        self.power_series.push(self.now, p.as_watts());
+    }
+
+    /// Translates a spec into a per-SoC resource demand and (for archive
+    /// jobs) a completion time offset.
+    fn demand_for(
+        &self,
+        spec: &WorkloadSpec,
+    ) -> Result<(Demand, Option<SimDuration>), AdmissionError> {
+        match spec {
+            WorkloadSpec::LiveStreamCpu { video } => Ok((
+                Demand {
+                    cpu_pu: video.cpu_cost_pu(),
+                    net_mbps: video.stream_traffic().as_mbps(),
+                    mem_gb: 0.3,
+                    ..Default::default()
+                },
+                None,
+            )),
+            WorkloadSpec::LiveStreamHw { video } => {
+                let codec = &self.cluster.socs[0].spec.codec;
+                Ok((
+                    Demand {
+                        codec_mb_s: video.hw_cost_mb_s(),
+                        codec_sessions: 1,
+                        cpu_pu: codec.delegation_cpu_pu_per_session,
+                        net_mbps: video.stream_traffic().as_mbps(),
+                        mem_gb: 0.3,
+                        ..Default::default()
+                    },
+                    None,
+                ))
+            }
+            WorkloadSpec::ArchiveJob { video, frames } => {
+                let fps = socc_video::TranscodeUnit::SocCpu
+                    .archive_fps(video)
+                    .ok_or(AdmissionError::Unsupported)?;
+                if fps <= 0.0 {
+                    return Err(AdmissionError::Unsupported);
+                }
+                let runtime = SimDuration::from_secs_f64(*frames as f64 / fps);
+                Ok((
+                    Demand {
+                        cpu_pu: socc_hw::calib::SOC_CPU_TRANSCODE_PU,
+                        mem_gb: 0.5,
+                        ..Default::default()
+                    },
+                    Some(runtime),
+                ))
+            }
+            WorkloadSpec::DlServe {
+                processor,
+                model,
+                dtype,
+                offered_fps,
+            } => {
+                let engine = processor.engine();
+                let capacity = engine
+                    .max_throughput(*model, *dtype)
+                    .ok_or(AdmissionError::Unsupported)?;
+                let frac = offered_fps / capacity;
+                if frac > 1.0 + 1e-9 {
+                    return Err(AdmissionError::NoCapacity);
+                }
+                let weights_gb = model.graph().weight_bytes(*dtype) / 1e9;
+                let mem_gb = weights_gb * 1.5 + 0.8;
+                let mut demand = Demand {
+                    mem_gb,
+                    ..Default::default()
+                };
+                match processor {
+                    SocProcessor::Cpu => {
+                        demand.cpu_pu = frac * socc_hw::calib::SOC_CPU_TRANSCODE_PU;
+                    }
+                    SocProcessor::Gpu => demand.gpu_frac = frac,
+                    SocProcessor::Dsp => demand.dsp_frac = frac,
+                }
+                Ok((demand, None))
+            }
+            WorkloadSpec::GamingSession { stream_mbps } => Ok((
+                Demand {
+                    gpu_frac: 0.125,
+                    cpu_pu: 300.0,
+                    net_mbps: *stream_mbps,
+                    mem_gb: 1.2,
+                    ..Default::default()
+                },
+                None,
+            )),
+        }
+    }
+
+    /// Submits a workload; places it on a SoC or rejects it.
+    pub fn submit(&mut self, spec: WorkloadSpec) -> Result<WorkloadId, AdmissionError> {
+        let (demand, runtime) = self.demand_for(&spec)?;
+        let Some(soc) = self.scheduler.place(&demand, &self.cluster.socs) else {
+            self.stats.rejected += 1;
+            return Err(AdmissionError::NoCapacity);
+        };
+        if demand.net_mbps > 0.0 && !self.cluster.fits_network(soc, demand.net_mbps) {
+            self.stats.rejected += 1;
+            return Err(AdmissionError::NetworkBound);
+        }
+        if !self.cluster.socs[soc].state.is_serving() {
+            self.stats.wakeups += 1;
+            self.cluster.bmc.log(self.now, format!("wake soc {soc}"));
+        }
+        self.cluster.socs[soc].place(&demand);
+        self.idle_since[soc] = None;
+        let id = WorkloadId(self.next_id);
+        self.next_id += 1;
+        let completes = runtime.map(|d| self.now + d);
+        self.workloads.insert(
+            id,
+            Placed {
+                spec,
+                soc,
+                demand,
+                completes,
+            },
+        );
+        self.stats.admitted += 1;
+        self.record_power();
+        Ok(id)
+    }
+
+    /// The SoC a workload currently runs on.
+    pub fn placement_of(&self, id: WorkloadId) -> Option<usize> {
+        self.workloads.get(&id).map(|p| p.soc)
+    }
+
+    /// The spec of a deployed workload.
+    pub fn spec_of(&self, id: WorkloadId) -> Option<&WorkloadSpec> {
+        self.workloads.get(&id).map(|p| &p.spec)
+    }
+
+    /// Ids of all deployed workloads, ascending.
+    pub fn workload_ids(&self) -> Vec<WorkloadId> {
+        let mut ids: Vec<WorkloadId> = self.workloads.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Explicitly finishes a workload (live streams, DL serving).
+    pub fn finish(&mut self, id: WorkloadId) -> Result<(), AdmissionError> {
+        let placed = self
+            .workloads
+            .remove(&id)
+            .ok_or(AdmissionError::Unsupported)?;
+        self.release(&placed);
+        self.stats.completed += 1;
+        self.record_power();
+        Ok(())
+    }
+
+    fn release(&mut self, placed: &Placed) {
+        let soc = &mut self.cluster.socs[placed.soc];
+        if soc.healthy {
+            soc.release(&placed.demand);
+            if soc.is_idle() {
+                self.idle_since[placed.soc] = Some(self.now);
+            }
+        }
+    }
+
+    /// Places a demand directly on a specific SoC, bypassing the scheduler
+    /// (used for pinned group deployments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand does not fit — callers must verify first.
+    pub(crate) fn place_pinned(&mut self, soc: usize, demand: &Demand) {
+        if !self.cluster.socs[soc].state.is_serving() {
+            self.stats.wakeups += 1;
+        }
+        self.cluster.socs[soc].place(demand);
+        self.idle_since[soc] = None;
+        self.stats.admitted += 1;
+        self.record_power();
+    }
+
+    /// Releases a pinned demand from a specific SoC.
+    pub(crate) fn release_pinned(&mut self, soc: usize, demand: &Demand) {
+        if self.cluster.socs[soc].healthy {
+            self.cluster.socs[soc].release(demand);
+            if self.cluster.socs[soc].is_idle() {
+                self.idle_since[soc] = Some(self.now);
+            }
+        }
+        self.stats.completed += 1;
+        self.record_power();
+    }
+
+    /// Next internally scheduled event (archive completion or sleep
+    /// deadline) at or before `horizon`.
+    fn next_event(&self, horizon: SimTime) -> Option<SimTime> {
+        let completion = self
+            .workloads
+            .values()
+            .filter_map(|p| p.completes)
+            .filter(|&t| t > self.now)
+            .min();
+        let sleep = self.sleep_after.and_then(|after| {
+            self.idle_since
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    self.cluster.socs[*i].healthy && self.cluster.socs[*i].state == PowerState::Idle
+                })
+                .filter_map(|(_, t)| t.map(|t| t + after))
+                .filter(|&t| t > self.now)
+                .min()
+        });
+        [completion, sleep]
+            .into_iter()
+            .flatten()
+            .filter(|&t| t <= horizon)
+            .min()
+    }
+
+    /// Advances the clock to `t`, processing archive completions and
+    /// sleep-state transitions in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot advance backwards");
+        let start = self.now;
+        while let Some(event_time) = self.next_event(t) {
+            self.now = event_time;
+            // Archive completions due now.
+            let due: Vec<WorkloadId> = self
+                .workloads
+                .iter()
+                .filter(|(_, p)| p.completes.is_some_and(|c| c <= event_time))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in due {
+                let placed = self.workloads.remove(&id).expect("due workload exists");
+                self.release(&placed);
+                self.stats.completed += 1;
+            }
+            // Sleep transitions due now.
+            if let Some(after) = self.sleep_after {
+                for i in 0..self.cluster.socs.len() {
+                    let soc = &mut self.cluster.socs[i];
+                    if soc.healthy
+                        && soc.state == PowerState::Idle
+                        && self.idle_since[i].is_some_and(|since| since + after <= event_time)
+                    {
+                        soc.state = PowerState::Sleep;
+                        self.cluster.bmc.log(event_time, format!("sleep soc {i}"));
+                    }
+                }
+            }
+            self.record_power();
+        }
+        self.now = t;
+        self.cluster.step_thermal(t.saturating_since(start));
+        self.cluster.refresh_bmc();
+    }
+
+    /// Kills a SoC (flash/SoC failure, §8) and migrates its workloads to
+    /// healthy SoCs; workloads that fit nowhere are dropped.
+    pub fn inject_fault(&mut self, soc: usize) {
+        if !self.cluster.socs[soc].healthy {
+            return;
+        }
+        self.cluster.socs[soc].decommission();
+        self.cluster
+            .bmc
+            .log(self.now, format!("fault: soc {soc} offline"));
+        let victims: Vec<WorkloadId> = self
+            .workloads
+            .iter()
+            .filter(|(_, p)| p.soc == soc)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            let mut placed = self.workloads.remove(&id).expect("victim exists");
+            match self.scheduler.place(&placed.demand, &self.cluster.socs) {
+                Some(target)
+                    if placed.demand.net_mbps == 0.0
+                        || self.cluster.fits_network(target, placed.demand.net_mbps) =>
+                {
+                    if !self.cluster.socs[target].state.is_serving() {
+                        self.stats.wakeups += 1;
+                    }
+                    self.cluster.socs[target].place(&placed.demand);
+                    self.idle_since[target] = None;
+                    placed.soc = target;
+                    self.stats.migrations += 1;
+                    self.cluster.bmc.log(
+                        self.now,
+                        format!("migrated workload {} to soc {target}", id.0),
+                    );
+                    self.workloads.insert(id, placed);
+                }
+                _ => {
+                    self.stats.dropped += 1;
+                    self.cluster
+                        .bmc
+                        .log(self.now, format!("dropped workload {}", id.0));
+                }
+            }
+        }
+        self.record_power();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socc_dl::{DType, ModelId};
+
+    fn orch() -> Orchestrator {
+        Orchestrator::new(OrchestratorConfig::default())
+    }
+
+    fn live_v1() -> WorkloadSpec {
+        WorkloadSpec::LiveStreamCpu {
+            video: socc_video::vbench::by_id("V1").unwrap(),
+        }
+    }
+
+    #[test]
+    fn submit_and_finish_roundtrip() {
+        let mut o = orch();
+        let id = o.submit(live_v1()).unwrap();
+        assert_eq!(o.active_workloads(), 1);
+        assert_eq!(o.placement_of(id), Some(0)); // bin-pack starts at 0
+        o.finish(id).unwrap();
+        assert_eq!(o.active_workloads(), 0);
+        assert_eq!(o.stats().completed, 1);
+    }
+
+    #[test]
+    fn soc_capacity_binds_at_table3_counts() {
+        let mut o = orch();
+        // One SoC takes 13 V1 streams (Table 3); bin-pack fills SoC 0 then 1.
+        for i in 0..14 {
+            let id = o.submit(live_v1()).unwrap();
+            let expected = if i < 13 { 0 } else { 1 };
+            assert_eq!(o.placement_of(id), Some(expected), "stream {i}");
+        }
+    }
+
+    #[test]
+    fn cluster_fills_to_780_v1_streams() {
+        // Table 3 × 60 SoCs: 13 × 60 = 780 CPU streams of V1.
+        let mut o = orch();
+        let mut admitted = 0;
+        while o.submit(live_v1()).is_ok() {
+            admitted += 1;
+        }
+        assert_eq!(admitted, 780);
+    }
+
+    #[test]
+    fn archive_jobs_complete_on_their_own() {
+        let mut o = orch();
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        // 156 frames at 15.6 fps = 10 s.
+        o.submit(WorkloadSpec::ArchiveJob { video, frames: 156 })
+            .unwrap();
+        o.advance_to(SimTime::from_secs(5));
+        assert_eq!(o.active_workloads(), 1);
+        o.advance_to(SimTime::from_secs(11));
+        assert_eq!(o.active_workloads(), 0);
+        assert_eq!(o.stats().completed, 1);
+    }
+
+    #[test]
+    fn idle_socs_sleep_and_power_drops() {
+        let mut o = orch();
+        let id = o.submit(live_v1()).unwrap();
+        o.advance_to(SimTime::from_secs(10));
+        o.finish(id).unwrap();
+        let before_sleep = o.power();
+        // Default sleep_after = 30 s; everything is asleep at t = 100 s.
+        o.advance_to(SimTime::from_secs(100));
+        let (_, idle, sleeping, _) = o.cluster().state_counts();
+        assert_eq!(idle, 0);
+        assert_eq!(sleeping, 60);
+        assert!(o.power().as_watts() < before_sleep.as_watts() * 0.4);
+    }
+
+    #[test]
+    fn dl_serving_demands_follow_engine_capacity() {
+        let mut o = orch();
+        // One SoC DSP serves ~113 fps of INT8 ResNet-50; 60 fps fits.
+        let id = o
+            .submit(WorkloadSpec::DlServe {
+                processor: SocProcessor::Dsp,
+                model: ModelId::ResNet50,
+                dtype: DType::Int8,
+                offered_fps: 60.0,
+            })
+            .unwrap();
+        assert_eq!(o.placement_of(id), Some(0));
+        // 200 fps exceeds one DSP.
+        let err = o
+            .submit(WorkloadSpec::DlServe {
+                processor: SocProcessor::Dsp,
+                model: ModelId::ResNet50,
+                dtype: DType::Int8,
+                offered_fps: 200.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::NoCapacity);
+    }
+
+    #[test]
+    fn unsupported_dl_combo_rejected() {
+        let mut o = orch();
+        let err = o
+            .submit(WorkloadSpec::DlServe {
+                processor: SocProcessor::Dsp,
+                model: ModelId::BertBase,
+                dtype: DType::Int8,
+                offered_fps: 1.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::Unsupported);
+    }
+
+    #[test]
+    fn fault_migrates_workloads() {
+        let mut o = orch();
+        let a = o.submit(live_v1()).unwrap();
+        let b = o.submit(live_v1()).unwrap();
+        assert_eq!(o.placement_of(a), Some(0));
+        o.inject_fault(0);
+        // Both streams moved off the dead SoC.
+        assert_eq!(o.stats().migrations, 2);
+        assert_ne!(o.placement_of(a), Some(0));
+        assert_ne!(o.placement_of(b), Some(0));
+        assert_eq!(o.stats().dropped, 0);
+        // The dead SoC takes no further work.
+        assert!(!o.cluster().socs[0].healthy);
+    }
+
+    #[test]
+    fn fault_with_full_cluster_drops_workloads() {
+        let mut o = orch();
+        loop {
+            if o.submit(live_v1()).is_err() {
+                break;
+            }
+        }
+        let before = o.active_workloads();
+        o.inject_fault(0);
+        // 13 streams had nowhere to go.
+        assert_eq!(o.stats().dropped, 13);
+        assert_eq!(o.active_workloads(), before - 13);
+    }
+
+    #[test]
+    fn energy_accumulates_over_time() {
+        let mut o = orch();
+        o.submit(live_v1()).unwrap();
+        o.advance_to(SimTime::from_secs(60));
+        let e = o.energy().as_joules();
+        // At least the idle floor for a minute.
+        assert!(e > 100.0 * 60.0, "energy {e}");
+        assert!(o.power_series().len() >= 2);
+    }
+
+    #[test]
+    fn gaming_sessions_consume_gpu_slots() {
+        let mut o = orch();
+        for _ in 0..8 {
+            o.submit(WorkloadSpec::GamingSession { stream_mbps: 8.0 })
+                .unwrap();
+        }
+        // 8 sessions fill SoC 0's GPU (8 × 0.125); the 9th goes to SoC 1.
+        let id = o
+            .submit(WorkloadSpec::GamingSession { stream_mbps: 8.0 })
+            .unwrap();
+        assert_eq!(o.placement_of(id), Some(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Placement strategies for the orchestrator.
+//!
+//! The scheduling granularity is a whole SoC (§8: "The SoC-level workload
+//! scheduling granularity"), and the choice of strategy directly controls
+//! energy proportionality: packing work onto few SoCs lets the rest sleep
+//! (Fig. 7/12's proportional scaling), while spreading maximizes thermal
+//! headroom at the cost of keeping every SoC awake.
+
+use crate::soc::{Demand, SocUnit};
+
+/// A placement strategy.
+pub trait Scheduler: Send {
+    /// Strategy name for telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Picks the SoC index for a demand, or `None` if nothing fits.
+    fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize>;
+}
+
+/// Consolidates: first (lowest-index) SoC with room. Idle tails of the
+/// fleet stay empty and can sleep — the energy-proportional choice.
+#[derive(Debug, Default)]
+pub struct BinPack;
+
+impl Scheduler for BinPack {
+    fn name(&self) -> &'static str {
+        "bin-pack"
+    }
+
+    fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        socs.iter().position(|s| s.fits(demand))
+    }
+}
+
+/// Rotates through SoCs in order, skipping full ones.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        if socs.is_empty() {
+            return None;
+        }
+        for offset in 0..socs.len() {
+            let idx = (self.cursor + offset) % socs.len();
+            if socs[idx].fits(demand) {
+                self.cursor = (idx + 1) % socs.len();
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+/// Least-loaded first (by CPU utilization): maximizes per-SoC headroom and
+/// spreads heat across the chassis.
+#[derive(Debug, Default)]
+pub struct Spread;
+
+impl Scheduler for Spread {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        socs.iter()
+            .enumerate()
+            .filter(|(_, s)| s.fits(demand))
+            .min_by(|(_, a), (_, b)| {
+                a.cpu_utilization()
+                    .get()
+                    .partial_cmp(&b.cpu_utilization().get())
+                    .expect("utilization is never NaN")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// The built-in strategies by name (for config parsing and ablations).
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "bin-pack" => Some(Box::new(BinPack)),
+        "round-robin" => Some(Box::new(RoundRobin::default())),
+        "spread" => Some(Box::new(Spread)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virt::DeploymentMode;
+
+    fn fleet(n: usize) -> Vec<SocUnit> {
+        (0..n)
+            .map(|i| SocUnit::new(i, DeploymentMode::Physical))
+            .collect()
+    }
+
+    fn d(pu: f64) -> Demand {
+        Demand {
+            cpu_pu: pu,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn binpack_fills_first_soc_first() {
+        let mut socs = fleet(4);
+        let mut s = BinPack;
+        for _ in 0..3 {
+            let idx = s.place(&d(1000.0), &socs).unwrap();
+            assert_eq!(idx, 0);
+            socs[idx].place(&d(1000.0));
+        }
+        // First SoC now holds 3000 pu; a 1000-pu demand spills to SoC 1.
+        assert_eq!(s.place(&d(1000.0), &socs), Some(1));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut socs = fleet(3);
+        let mut s = RoundRobin::default();
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let idx = s.place(&d(100.0), &socs).unwrap();
+            socs[idx].place(&d(100.0));
+            order.push(idx);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn spread_picks_least_loaded() {
+        let mut socs = fleet(3);
+        socs[0].place(&d(2000.0));
+        socs[1].place(&d(500.0));
+        let mut s = Spread;
+        assert_eq!(s.place(&d(100.0), &socs), Some(2));
+        socs[2].place(&d(1000.0));
+        assert_eq!(s.place(&d(100.0), &socs), Some(1));
+    }
+
+    #[test]
+    fn all_skip_unhealthy_and_full() {
+        let mut socs = fleet(2);
+        socs[0].healthy = false;
+        socs[1].place(&d(3235.0));
+        for mut s in [
+            by_name("bin-pack").unwrap(),
+            by_name("round-robin").unwrap(),
+            by_name("spread").unwrap(),
+        ] {
+            assert_eq!(s.place(&d(1.0), &socs), None, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("bin-pack").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn empty_fleet_places_nothing() {
+        let mut s = RoundRobin::default();
+        assert_eq!(s.place(&d(1.0), &[]), None);
+    }
+}

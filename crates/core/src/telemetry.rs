@@ -1,0 +1,127 @@
+//! Shared telemetry sink: thread-safe counters and gauges for fleet-scale
+//! experiments.
+//!
+//! The parallel sweep harness runs many orchestrator instances across
+//! threads; they report into one [`TelemetrySink`] so a sweep's aggregate
+//! (total admissions, rejections, peak power seen anywhere) is collected
+//! without funnelling every sample through a channel.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use socc_sim::metrics::MetricRegistry;
+
+use crate::orchestrator::Orchestrator;
+
+/// A cloneable, thread-safe metric registry.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    inner: Arc<Mutex<MetricRegistry>>,
+}
+
+impl TelemetrySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to a counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.inner.lock().counter(name).add(delta);
+    }
+
+    /// Sets a gauge, keeping the maximum across reports.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        let mut reg = self.inner.lock();
+        let current = reg.gauge_value(name);
+        if value > current {
+            reg.gauge(name).set(value);
+        }
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counter_value(name)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.inner.lock().gauge_value(name)
+    }
+
+    /// Snapshot of all counters, name-ordered.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    /// Folds an orchestrator's lifetime stats into the sink under a prefix.
+    pub fn absorb(&self, prefix: &str, orch: &Orchestrator) {
+        let stats = orch.stats();
+        self.add(&format!("{prefix}.admitted"), stats.admitted);
+        self.add(&format!("{prefix}.rejected"), stats.rejected);
+        self.add(&format!("{prefix}.completed"), stats.completed);
+        self.add(&format!("{prefix}.migrations"), stats.migrations);
+        self.add(&format!("{prefix}.dropped"), stats.dropped);
+        self.add(&format!("{prefix}.wakeups"), stats.wakeups);
+        self.gauge_max(&format!("{prefix}.peak_power_w"), orch.power().as_watts());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::OrchestratorConfig;
+    use crate::workload::WorkloadSpec;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let sink = TelemetrySink::new();
+        let other = sink.clone();
+        sink.add("x", 2);
+        other.add("x", 3);
+        assert_eq!(sink.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauge_keeps_maximum() {
+        let sink = TelemetrySink::new();
+        sink.gauge_max("p", 10.0);
+        sink.gauge_max("p", 4.0);
+        sink.gauge_max("p", 12.0);
+        assert_eq!(sink.gauge("p"), 12.0);
+    }
+
+    #[test]
+    fn absorbs_orchestrator_stats() {
+        let sink = TelemetrySink::new();
+        let mut orch = Orchestrator::new(OrchestratorConfig::default());
+        let v = socc_video::vbench::by_id("V1").unwrap();
+        for _ in 0..3 {
+            orch.submit(WorkloadSpec::LiveStreamCpu { video: v.clone() })
+                .unwrap();
+        }
+        sink.absorb("run", &orch);
+        assert_eq!(sink.counter("run.admitted"), 3);
+        assert!(sink.gauge("run.peak_power_w") > 100.0);
+    }
+
+    #[test]
+    fn concurrent_reporting_is_consistent() {
+        let sink = TelemetrySink::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = sink.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.counter("hits"), 8000);
+    }
+}

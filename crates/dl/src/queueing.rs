@@ -1,0 +1,234 @@
+//! Request-level serving simulation: queueing delay and tail latency.
+//!
+//! §5.1 frames latency as the user-visible metric; under real traffic the
+//! *queueing* on a busy engine dominates the tail. This module runs a
+//! discrete-event FIFO queue over an engine's service times and reports
+//! latency percentiles, so operators can size SoC pools against an SLO
+//! instead of the batch-1 number alone.
+
+use serde::{Deserialize, Serialize};
+use socc_sim::event::EventQueue;
+use socc_sim::metrics::LogHistogram;
+use socc_sim::rng::SimRng;
+use socc_sim::time::{SimDuration, SimTime};
+
+use crate::engine::Engine;
+use crate::tensor::DType;
+use crate::zoo::ModelId;
+
+/// Tail-latency report of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailReport {
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean end-to-end latency in ms.
+    pub mean_ms: f64,
+    /// Median latency in ms.
+    pub p50_ms: f64,
+    /// 95th percentile in ms.
+    pub p95_ms: f64,
+    /// 99th percentile in ms.
+    pub p99_ms: f64,
+    /// Offered utilization (arrival rate × service time).
+    pub utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+/// Simulates Poisson arrivals at `rate_fps` into a FIFO single-engine
+/// server for `horizon`, returning the latency tail, or `None` if the
+/// engine cannot run the model/precision.
+pub fn simulate_tail(
+    engine: Engine,
+    model: ModelId,
+    dtype: DType,
+    rate_fps: f64,
+    horizon: SimDuration,
+    rng: &mut SimRng,
+) -> Option<TailReport> {
+    let service = engine.latency(model, dtype, 1)?;
+    let mut queue = EventQueue::new();
+    let mut waiting: std::collections::VecDeque<SimTime> = std::collections::VecDeque::new();
+    let mut busy_until: Option<SimTime> = None;
+    let mut hist = LogHistogram::for_latency_ms();
+    let end = SimTime::ZERO + horizon;
+
+    queue.schedule(
+        SimTime::from_secs_f64(rng.exponential(rate_fps)),
+        Ev::Arrival,
+    );
+    while let Some((now, ev)) = queue.pop() {
+        if now > end {
+            break;
+        }
+        match ev {
+            Ev::Arrival => {
+                waiting.push_back(now);
+                if busy_until.is_none() {
+                    busy_until = Some(now + service);
+                    queue.schedule(now + service, Ev::Departure);
+                }
+                let next = now + SimDuration::from_secs_f64(rng.exponential(rate_fps));
+                queue.schedule(next, Ev::Arrival);
+            }
+            Ev::Departure => {
+                let arrived = waiting.pop_front().expect("departure without arrival");
+                hist.record(now.since(arrived).as_millis_f64());
+                if waiting.is_empty() {
+                    busy_until = None;
+                } else {
+                    busy_until = Some(now + service);
+                    queue.schedule(now + service, Ev::Departure);
+                }
+            }
+        }
+    }
+
+    Some(TailReport {
+        completed: hist.count(),
+        mean_ms: hist.mean(),
+        p50_ms: hist.quantile(0.5).unwrap_or(0.0),
+        p95_ms: hist.quantile(0.95).unwrap_or(0.0),
+        p99_ms: hist.quantile(0.99).unwrap_or(0.0),
+        utilization: rate_fps * service.as_secs_f64(),
+    })
+}
+
+/// Largest Poisson arrival rate (fps) at which the engine's p99 stays
+/// within `slo`, found by bisection over simulation runs. Returns 0.0 when
+/// even an idle engine misses the SLO (service time > SLO), `None` when
+/// the engine can't run the model.
+pub fn max_rate_within_slo(
+    engine: Engine,
+    model: ModelId,
+    dtype: DType,
+    slo: SimDuration,
+    seed: u64,
+) -> Option<f64> {
+    let service = engine.latency(model, dtype, 1)?;
+    if service > slo {
+        return Some(0.0);
+    }
+    let capacity = 1.0 / service.as_secs_f64();
+    let horizon = SimDuration::from_secs_f64((2000.0 / capacity).clamp(60.0, 3600.0));
+    let meets = |rate: f64| -> bool {
+        let mut rng = SimRng::seed(seed);
+        simulate_tail(engine, model, dtype, rate, horizon, &mut rng)
+            .map(|r| r.p99_ms <= slo.as_millis_f64())
+            .unwrap_or(false)
+    };
+    let (mut lo, mut hi) = (0.0, capacity);
+    for _ in 0..20 {
+        let mid = (lo + hi) / 2.0;
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dsp_r50(rate: f64, seed: u64) -> TailReport {
+        let mut rng = SimRng::seed(seed);
+        simulate_tail(
+            Engine::QnnDsp,
+            ModelId::ResNet50,
+            DType::Int8,
+            rate,
+            SimDuration::from_secs(600),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn light_load_latency_is_service_time() {
+        let r = dsp_r50(5.0, 1);
+        assert!(r.utilization < 0.05);
+        // p50 ≈ 8.8 ms service time, little queueing.
+        assert!((8.0..=11.0).contains(&r.p50_ms), "p50 {}", r.p50_ms);
+        assert!(r.p99_ms < 25.0, "p99 {}", r.p99_ms);
+    }
+
+    #[test]
+    fn heavy_load_grows_the_tail() {
+        let light = dsp_r50(10.0, 2);
+        let heavy = dsp_r50(100.0, 2); // utilization ≈ 0.88
+        assert!(
+            heavy.p99_ms > 4.0 * light.p99_ms,
+            "{} vs {}",
+            heavy.p99_ms,
+            light.p99_ms
+        );
+        assert!(heavy.mean_ms > light.mean_ms);
+    }
+
+    #[test]
+    fn mm1_mean_matches_theory_at_moderate_load() {
+        // M/D/1 mean wait = ρ·s/(2(1−ρ)); total = s + wait.
+        let rate = 60.0;
+        let s = 8.8e-3;
+        let rho: f64 = rate * s;
+        let expected_ms = (s + rho * s / (2.0 * (1.0 - rho))) * 1e3;
+        let r = dsp_r50(rate, 3);
+        assert!(
+            (r.mean_ms - expected_ms).abs() / expected_ms < 0.15,
+            "mean {} vs M/D/1 {}",
+            r.mean_ms,
+            expected_ms
+        );
+    }
+
+    #[test]
+    fn unsupported_combo_is_none() {
+        let mut rng = SimRng::seed(4);
+        assert!(simulate_tail(
+            Engine::QnnDsp,
+            ModelId::BertBase,
+            DType::Int8,
+            1.0,
+            SimDuration::from_secs(10),
+            &mut rng
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn slo_capacity_is_fraction_of_raw_throughput() {
+        // With a 30 ms p99 SLO, the DSP serves a sizeable share of its
+        // raw 113 fps, but far from all of it (queueing tail + the
+        // histogram's conservative bucket bounds).
+        let max = max_rate_within_slo(
+            Engine::QnnDsp,
+            ModelId::ResNet50,
+            DType::Int8,
+            SimDuration::from_millis(30),
+            7,
+        )
+        .unwrap();
+        assert!((20.0..=110.0).contains(&max), "max rate {max}");
+    }
+
+    #[test]
+    fn impossible_slo_gives_zero() {
+        // CPU FP32 ResNet-50 takes 81 ms > a 50 ms SLO.
+        let max = max_rate_within_slo(
+            Engine::TfLiteCpu,
+            ModelId::ResNet50,
+            DType::Fp32,
+            SimDuration::from_millis(50),
+            7,
+        )
+        .unwrap();
+        assert_eq!(max, 0.0);
+    }
+}

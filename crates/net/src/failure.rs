@@ -1,0 +1,207 @@
+//! Link failures and rerouting.
+//!
+//! A PCB or its uplink can fail (§8's fault-tolerance concern extends to
+//! the fabric). [`FailureAwareRouting`] computes routes around a failed
+//! link set, and `FlowNet::fail_link` reroutes live traffic, reporting the
+//! flows that became unreachable.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Routing that avoids a set of failed links.
+#[derive(Debug, Clone, Default)]
+pub struct FailureAwareRouting {
+    failed: HashSet<LinkId>,
+}
+
+impl FailureAwareRouting {
+    /// Creates routing state with no failures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a link failed. Returns `true` if it was previously healthy.
+    pub fn fail(&mut self, link: LinkId) -> bool {
+        self.failed.insert(link)
+    }
+
+    /// Restores a link. Returns `true` if it was failed.
+    pub fn repair(&mut self, link: LinkId) -> bool {
+        self.failed.remove(&link)
+    }
+
+    /// Currently failed links.
+    pub fn failed(&self) -> &HashSet<LinkId> {
+        &self.failed
+    }
+
+    /// Returns `true` if the link is usable.
+    pub fn usable(&self, link: LinkId) -> bool {
+        !self.failed.contains(&link)
+    }
+
+    /// BFS route avoiding failed links, or `None` if disconnected.
+    pub fn route(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        // Rebuild adjacency lazily from the link table, skipping failures.
+        let mut adjacency: HashMap<NodeId, Vec<(NodeId, LinkId)>> = HashMap::new();
+        for i in 0..topo.link_count() as u32 {
+            let id = LinkId(i);
+            if self.usable(id) {
+                let l = topo.link(id);
+                adjacency.entry(l.src).or_default().push((l.dst, id));
+            }
+        }
+        let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        while let Some(n) = queue.pop_front() {
+            if let Some(neighbors) = adjacency.get(&n) {
+                for &(next, link) in neighbors {
+                    if next != src && !prev.contains_key(&next) {
+                        prev.insert(next, (n, link));
+                        if next == dst {
+                            let mut path = Vec::new();
+                            let mut cur = dst;
+                            while cur != src {
+                                let (p, l) = prev[&cur];
+                                path.push(l);
+                                cur = p;
+                            }
+                            path.reverse();
+                            return Some(path);
+                        }
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Nodes reachable from `src` over healthy links (including `src`).
+    pub fn reachable(&self, topo: &Topology, src: NodeId) -> HashSet<NodeId> {
+        let mut seen: HashSet<NodeId> = HashSet::from([src]);
+        let mut queue = VecDeque::from([src]);
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for i in 0..topo.link_count() as u32 {
+            let id = LinkId(i);
+            if self.usable(id) {
+                let l = topo.link(id);
+                adjacency.entry(l.src).or_default().push(l.dst);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if let Some(neighbors) = adjacency.get(&n) {
+                for &next in neighbors {
+                    if seen.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+    use socc_sim::units::DataRate;
+
+    fn diamond() -> (Topology, NodeId, NodeId, LinkId, LinkId) {
+        // a → b → d and a → c → d: two disjoint paths.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        let c = topo.add_node(NodeKind::Host);
+        let d = topo.add_node(NodeKind::Host);
+        let ab = topo.add_link(a, b, DataRate::gbps(1.0));
+        topo.add_link(b, d, DataRate::gbps(1.0));
+        let ac = topo.add_link(a, c, DataRate::gbps(1.0));
+        topo.add_link(c, d, DataRate::gbps(1.0));
+        (topo, a, d, ab, ac)
+    }
+
+    #[test]
+    fn reroutes_around_single_failure() {
+        let (topo, a, d, ab, _) = diamond();
+        let mut routing = FailureAwareRouting::new();
+        let before = routing.route(&topo, a, d).unwrap();
+        assert!(before.contains(&ab), "BFS takes the first path");
+        routing.fail(ab);
+        let after = routing.route(&topo, a, d).unwrap();
+        assert!(!after.contains(&ab));
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn double_failure_disconnects() {
+        let (topo, a, d, ab, ac) = diamond();
+        let mut routing = FailureAwareRouting::new();
+        routing.fail(ab);
+        routing.fail(ac);
+        assert_eq!(routing.route(&topo, a, d), None);
+        assert_eq!(routing.reachable(&topo, a).len(), 1);
+    }
+
+    #[test]
+    fn repair_restores_routing() {
+        let (topo, a, d, ab, ac) = diamond();
+        let mut routing = FailureAwareRouting::new();
+        routing.fail(ab);
+        routing.fail(ac);
+        assert!(routing.repair(ab));
+        assert!(routing.route(&topo, a, d).is_some());
+        assert!(!routing.repair(ab), "already repaired");
+    }
+
+    #[test]
+    fn pcb_uplink_failure_strands_five_socs() {
+        // Killing PCB 0's uplink pair cuts SoCs 0..5 off the ESB but they
+        // can still reach each other through the PCB switch.
+        let fabric = Topology::soc_cluster(60);
+        let mut routing = FailureAwareRouting::new();
+        // The PCB↔ESB duplex pair for PCB 0: find links touching pcb0+esb.
+        for i in 0..fabric.topology.link_count() as u32 {
+            let l = fabric.topology.link(LinkId(i));
+            if (l.src == fabric.pcbs[0] && l.dst == fabric.esb)
+                || (l.src == fabric.esb && l.dst == fabric.pcbs[0])
+            {
+                routing.fail(LinkId(i));
+            }
+        }
+        // SoC 0 ↔ SoC 1 (same PCB): still routable.
+        assert!(routing
+            .route(&fabric.topology, fabric.socs[0], fabric.socs[1])
+            .is_some());
+        // SoC 0 → external: dead.
+        assert_eq!(
+            routing.route(&fabric.topology, fabric.socs[0], fabric.external),
+            None
+        );
+        // SoC 5 (PCB 1) → external: unaffected.
+        assert!(routing
+            .route(&fabric.topology, fabric.socs[5], fabric.external)
+            .is_some());
+    }
+
+    #[test]
+    fn no_failures_matches_topology_routing() {
+        let fabric = Topology::soc_cluster(20);
+        let routing = FailureAwareRouting::new();
+        for (src, dst) in [(0usize, 7usize), (3, 19), (11, 0)] {
+            let a = routing
+                .route(&fabric.topology, fabric.socs[src], fabric.socs[dst])
+                .unwrap();
+            let b = fabric
+                .topology
+                .route(fabric.socs[src], fabric.socs[dst])
+                .unwrap();
+            assert_eq!(a.len(), b.len());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+//!
+//! Given a set of flows, each with a route (set of directed links) and an
+//! optional demand cap, and per-link capacities, the water-filling algorithm
+//! raises every unfrozen flow's rate uniformly until a link saturates or a
+//! flow hits its demand; saturated/full flows freeze and the process
+//! repeats. The result is the unique max-min fair allocation.
+
+use std::collections::HashMap;
+
+use socc_sim::units::DataRate;
+
+use crate::topology::LinkId;
+
+/// A flow demand handed to the allocator.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Links the flow traverses.
+    pub route: Vec<LinkId>,
+    /// Application-level demand cap, or `None` for an elastic (greedy) flow.
+    pub demand: Option<DataRate>,
+}
+
+/// Computes the max-min fair allocation.
+///
+/// `capacity` maps each link to its capacity; links missing from the map are
+/// treated as infinite. Returns one rate per flow, in input order. Flows
+/// with empty routes receive their demand (or `DataRate::MAX`-ish elastic
+/// rate capped at `f64::INFINITY` is avoided — they get `demand` or the
+/// largest finite capacity seen, falling back to 1 Tbps).
+///
+/// The allocation satisfies, for every flow `f`:
+/// - feasibility: no link carries more than its capacity (within 1e-6);
+/// - demand: `rate[f] <= demand[f]`;
+/// - max-min fairness: a flow's rate can only be below another's if the
+///   former is bottlenecked on a saturated link.
+pub fn max_min_fair(flows: &[FlowDemand], capacity: &HashMap<LinkId, DataRate>) -> Vec<DataRate> {
+    let elastic_ceiling = DataRate::gbps(1000.0);
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+
+    // Remaining capacity per link, and which unfrozen flows cross it.
+    let mut remaining: HashMap<LinkId, f64> =
+        capacity.iter().map(|(&l, &c)| (l, c.as_bps())).collect();
+
+    loop {
+        // Active flows: not frozen. Flows with no capacitated link in their
+        // route are only demand-limited.
+        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+
+        // Count active flows per capacitated link.
+        let mut users: HashMap<LinkId, usize> = HashMap::new();
+        for &i in &active {
+            for l in &flows[i].route {
+                if remaining.contains_key(l) {
+                    *users.entry(*l).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // The uniform increment is bounded by the tightest link share and
+        // by the smallest remaining demand headroom among active flows.
+        let mut increment = f64::INFINITY;
+        for (&l, &u) in &users {
+            if u > 0 {
+                increment = increment.min(remaining[&l] / u as f64);
+            }
+        }
+        for &i in &active {
+            let cap = flows[i]
+                .demand
+                .map_or(elastic_ceiling.as_bps(), DataRate::as_bps);
+            increment = increment.min(cap - rates[i]);
+        }
+        if !increment.is_finite() {
+            // No capacitated links and all demands infinite: everyone gets
+            // the elastic ceiling.
+            for &i in &active {
+                rates[i] = elastic_ceiling.as_bps();
+                frozen[i] = true;
+            }
+            break;
+        }
+        let increment = increment.max(0.0);
+
+        // Apply the increment.
+        for &i in &active {
+            rates[i] += increment;
+        }
+        for (&l, &u) in &users {
+            if u > 0 {
+                *remaining.get_mut(&l).expect("tracked link") -= increment * u as f64;
+            }
+        }
+
+        // Freeze flows that hit demand or a saturated link.
+        let mut any_frozen = false;
+        for &i in &active {
+            let at_demand = flows[i]
+                .demand
+                .map_or(rates[i] >= elastic_ceiling.as_bps() - 1e-6, |d| {
+                    rates[i] >= d.as_bps() - 1e-6
+                });
+            let on_saturated = flows[i]
+                .route
+                .iter()
+                .any(|l| remaining.get(l).is_some_and(|&r| r <= 1e-6));
+            if at_demand || on_saturated {
+                frozen[i] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            // Numerical guard: increment was ~0 without freezing anyone.
+            break;
+        }
+    }
+
+    rates.into_iter().map(DataRate::bps).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(pairs: &[(u32, f64)]) -> HashMap<LinkId, DataRate> {
+        pairs
+            .iter()
+            .map(|&(l, gbps)| (LinkId(l), DataRate::gbps(gbps)))
+            .collect()
+    }
+
+    fn elastic(route: &[u32]) -> FlowDemand {
+        FlowDemand {
+            route: route.iter().map(|&l| LinkId(l)).collect(),
+            demand: None,
+        }
+    }
+
+    fn capped(route: &[u32], mbps: f64) -> FlowDemand {
+        FlowDemand {
+            route: route.iter().map(|&l| LinkId(l)).collect(),
+            demand: Some(DataRate::mbps(mbps)),
+        }
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let flows = vec![elastic(&[0]), elastic(&[0])];
+        let rates = max_min_fair(&flows, &caps(&[(0, 1.0)]));
+        assert!((rates[0].as_mbps() - 500.0).abs() < 1e-3);
+        assert!((rates[1].as_mbps() - 500.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn demand_capped_flow_releases_capacity() {
+        let flows = vec![capped(&[0], 100.0), elastic(&[0])];
+        let rates = max_min_fair(&flows, &caps(&[(0, 1.0)]));
+        assert!((rates[0].as_mbps() - 100.0).abs() < 1e-3);
+        assert!((rates[1].as_mbps() - 900.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn classic_three_flow_two_link_case() {
+        // Link0 and Link1 both 1 Gbps. Flow A uses both, B uses link0,
+        // C uses link1. Max-min: A=0.5, B=0.5, C=0.5.
+        let flows = vec![elastic(&[0, 1]), elastic(&[0]), elastic(&[1])];
+        let rates = max_min_fair(&flows, &caps(&[(0, 1.0), (1, 1.0)]));
+        for r in &rates {
+            assert!((r.as_mbps() - 500.0).abs() < 1e-3, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_hierarchy() {
+        // Link0 = 1 G shared by A and B; B continues over link1 = 0.2 G.
+        // B is bottlenecked to 0.2, A picks up the slack: 0.8.
+        let flows = vec![elastic(&[0]), elastic(&[0, 1])];
+        let rates = max_min_fair(&flows, &caps(&[(0, 1.0), (1, 0.2)]));
+        assert!((rates[1].as_mbps() - 200.0).abs() < 1e-3);
+        assert!((rates[0].as_mbps() - 800.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn feasibility_never_violated() {
+        // Randomized-ish stress over a fixed pattern.
+        let link_caps = caps(&[(0, 1.0), (1, 2.0), (2, 0.5)]);
+        let flows = vec![
+            elastic(&[0, 1]),
+            elastic(&[1, 2]),
+            capped(&[0], 250.0),
+            elastic(&[2]),
+            capped(&[1], 3000.0),
+        ];
+        let rates = max_min_fair(&flows, &link_caps);
+        let mut per_link: HashMap<LinkId, f64> = HashMap::new();
+        for (f, r) in flows.iter().zip(&rates) {
+            for l in &f.route {
+                *per_link.entry(*l).or_insert(0.0) += r.as_bps();
+            }
+        }
+        for (l, used) in per_link {
+            let cap = link_caps[&l].as_bps();
+            assert!(used <= cap + 1.0, "link {l:?} used {used} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_route_gets_demand() {
+        let flows = vec![capped(&[], 123.0)];
+        let rates = max_min_fair(&flows, &HashMap::new());
+        assert!((rates[0].as_mbps() - 123.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uncapacitated_elastic_gets_ceiling() {
+        let flows = vec![elastic(&[])];
+        let rates = max_min_fair(&flows, &HashMap::new());
+        assert!(rates[0].as_gbps() >= 999.0);
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        assert!(max_min_fair(&[], &HashMap::new()).is_empty());
+    }
+
+    #[test]
+    fn work_conservation_on_single_link() {
+        // Sum of rates equals capacity when demand exceeds it.
+        let flows: Vec<FlowDemand> = (0..7).map(|_| elastic(&[0])).collect();
+        let rates = max_min_fair(&flows, &caps(&[(0, 1.0)]));
+        let total: f64 = rates.iter().map(|r| r.as_bps()).sum();
+        assert!((total - 1e9).abs() < 10.0, "total {total}");
+    }
+}

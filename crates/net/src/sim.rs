@@ -1,0 +1,568 @@
+//! Event-driven flow network simulator.
+//!
+//! [`FlowNet`] tracks two kinds of traffic over a [`Topology`]:
+//!
+//! - **streams**: long-lived fixed-demand flows (live video feeds, gaming
+//!   sessions) that occupy bandwidth for as long as they are attached;
+//! - **transfers**: finite-size elastic flows (tensor exchanges, archive
+//!   fetches) that complete once their bytes drain.
+//!
+//! Rates are recomputed with max-min fairness whenever membership changes,
+//! and transfers drain at their allocated goodput between events — the
+//! standard fluid flow-level model.
+
+use std::collections::HashMap;
+
+use socc_sim::time::{SimDuration, SimTime};
+use socc_sim::units::{DataRate, DataSize};
+
+use crate::failure::FailureAwareRouting;
+use crate::fairness::{max_min_fair, FlowDemand};
+use crate::tcp::TcpModel;
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Identifies a long-lived stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(u64);
+
+/// Identifies a finite transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(u64);
+
+/// Errors returned by [`FlowNet`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No route exists between the endpoints.
+    Unreachable {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// The referenced stream/transfer does not exist.
+    UnknownId,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Unreachable { src, dst } => {
+                write!(f, "no route from node {} to node {}", src.0, dst.0)
+            }
+            NetError::UnknownId => write!(f, "unknown stream or transfer id"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[derive(Debug, Clone)]
+struct StreamState {
+    src: NodeId,
+    dst: NodeId,
+    route: Vec<LinkId>,
+    demand: DataRate,
+    allocated: DataRate,
+}
+
+#[derive(Debug, Clone)]
+struct TransferState {
+    route: Vec<LinkId>,
+    remaining: f64, // bits
+    startup_left: SimDuration,
+    rate: DataRate, // current goodput
+}
+
+/// A fluid flow-level network simulator.
+pub struct FlowNet {
+    topology: Topology,
+    capacity: HashMap<LinkId, DataRate>,
+    tcp: TcpModel,
+    now: SimTime,
+    streams: HashMap<StreamId, StreamState>,
+    transfers: HashMap<TransferId, TransferState>,
+    next_id: u64,
+    stream_order: Vec<StreamId>,
+    transfer_order: Vec<TransferId>,
+    routing: FailureAwareRouting,
+}
+
+impl FlowNet {
+    /// Creates a simulator over a topology with the given TCP model.
+    pub fn new(topology: Topology, tcp: TcpModel) -> Self {
+        let capacity = (0..topology.link_count() as u32)
+            .map(|i| (LinkId(i), topology.link(LinkId(i)).capacity))
+            .collect();
+        Self {
+            topology,
+            capacity,
+            tcp,
+            now: SimTime::ZERO,
+            streams: HashMap::new(),
+            transfers: HashMap::new(),
+            next_id: 0,
+            stream_order: Vec::new(),
+            transfer_order: Vec::new(),
+            routing: FailureAwareRouting::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Attaches a fixed-demand stream between two nodes.
+    pub fn add_stream(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        demand: DataRate,
+    ) -> Result<StreamId, NetError> {
+        let route = self
+            .routing
+            .route(&self.topology, src, dst)
+            .ok_or(NetError::Unreachable { src, dst })?;
+        let id = StreamId(self.fresh_id());
+        self.streams.insert(
+            id,
+            StreamState {
+                src,
+                dst,
+                route,
+                demand,
+                allocated: DataRate::ZERO,
+            },
+        );
+        self.stream_order.push(id);
+        self.reallocate();
+        Ok(id)
+    }
+
+    /// Detaches a stream.
+    pub fn remove_stream(&mut self, id: StreamId) -> Result<(), NetError> {
+        self.streams.remove(&id).ok_or(NetError::UnknownId)?;
+        self.stream_order.retain(|&s| s != id);
+        self.reallocate();
+        Ok(())
+    }
+
+    /// The rate currently allocated to a stream.
+    pub fn stream_rate(&self, id: StreamId) -> Result<DataRate, NetError> {
+        self.streams
+            .get(&id)
+            .map(|s| s.allocated)
+            .ok_or(NetError::UnknownId)
+    }
+
+    /// Starts a finite transfer of `size` between two nodes.
+    pub fn start_transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: DataSize,
+    ) -> Result<TransferId, NetError> {
+        let route = self
+            .routing
+            .route(&self.topology, src, dst)
+            .ok_or(NetError::Unreachable { src, dst })?;
+        let id = TransferId(self.fresh_id());
+        self.transfers.insert(
+            id,
+            TransferState {
+                route,
+                remaining: size.as_bits(),
+                startup_left: self.tcp.startup_delay(size),
+                rate: DataRate::ZERO,
+            },
+        );
+        self.transfer_order.push(id);
+        self.reallocate();
+        Ok(id)
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_transfers(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Number of attached streams.
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Recomputes the max-min fair allocation for all flows.
+    fn reallocate(&mut self) {
+        let mut demands = Vec::with_capacity(self.streams.len() + self.transfers.len());
+        for id in &self.stream_order {
+            let s = &self.streams[id];
+            demands.push(FlowDemand {
+                route: s.route.clone(),
+                demand: Some(s.demand),
+            });
+        }
+        for id in &self.transfer_order {
+            let t = &self.transfers[id];
+            demands.push(FlowDemand {
+                route: t.route.clone(),
+                demand: None,
+            });
+        }
+        let rates = max_min_fair(&demands, &self.capacity);
+        let (stream_rates, transfer_rates) = rates.split_at(self.stream_order.len());
+        for (id, rate) in self.stream_order.iter().zip(stream_rates) {
+            self.streams
+                .get_mut(id)
+                .expect("ordered id exists")
+                .allocated = *rate;
+        }
+        for (id, rate) in self.transfer_order.iter().zip(transfer_rates) {
+            let t = self.transfers.get_mut(id).expect("ordered id exists");
+            t.rate = self.tcp.goodput(*rate);
+        }
+    }
+
+    /// Time at which the next transfer completes, or `None` if no transfers
+    /// are in flight (streams never complete on their own).
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.transfers
+            .values()
+            .map(|t| {
+                let drain = if t.rate.as_bps() > 0.0 {
+                    SimDuration::from_secs_f64(t.remaining / t.rate.as_bps())
+                } else {
+                    SimDuration::MAX
+                };
+                self.now + t.startup_left + drain
+            })
+            .min()
+    }
+
+    /// Advances the clock to `t`, draining transfers at their current
+    /// rates. Returns the ids of transfers that completed, in completion
+    /// order. Rates are recomputed after each completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<TransferId> {
+        assert!(t >= self.now, "cannot advance backwards");
+        let mut completed = Vec::new();
+        while let Some(next) = self.next_completion() {
+            if next > t {
+                break;
+            }
+            let step = next.since(self.now);
+            self.drain(step);
+            self.now = next;
+            // Collect every transfer that is now done (ties complete together).
+            let mut done: Vec<TransferId> = self
+                .transfers
+                .iter()
+                .filter(|(_, tr)| tr.remaining <= 1e-6 && tr.startup_left.is_zero())
+                .map(|(&id, _)| id)
+                .collect();
+            done.sort();
+            for id in &done {
+                self.transfers.remove(id);
+                self.transfer_order.retain(|&x| x != *id);
+            }
+            completed.extend(done);
+            self.reallocate();
+        }
+        let step = t.saturating_since(self.now);
+        if !step.is_zero() {
+            self.drain(step);
+            self.now = t;
+        }
+        completed
+    }
+
+    /// Runs until every transfer completes, returning `(finish_time, ids)`.
+    pub fn run_to_idle(&mut self) -> (SimTime, Vec<TransferId>) {
+        let mut completed = Vec::new();
+        while let Some(next) = self.next_completion() {
+            completed.extend(self.advance_to(next));
+        }
+        (self.now, completed)
+    }
+
+    fn drain(&mut self, dt: SimDuration) {
+        for t in self.transfers.values_mut() {
+            let after_startup = if t.startup_left >= dt {
+                t.startup_left -= dt;
+                SimDuration::ZERO
+            } else {
+                let left = dt - t.startup_left;
+                t.startup_left = SimDuration::ZERO;
+                left
+            };
+            t.remaining = (t.remaining - t.rate.as_bps() * after_startup.as_secs_f64()).max(0.0);
+        }
+    }
+
+    /// Offered load per link in bits/s, from the current allocation.
+    pub fn link_load(&self) -> HashMap<LinkId, DataRate> {
+        let mut load: HashMap<LinkId, f64> = HashMap::new();
+        for s in self.streams.values() {
+            for l in &s.route {
+                *load.entry(*l).or_insert(0.0) += s.allocated.as_bps();
+            }
+        }
+        for t in self.transfers.values() {
+            if t.startup_left.is_zero() {
+                for l in &t.route {
+                    *load.entry(*l).or_insert(0.0) += t.rate.as_bps();
+                }
+            }
+        }
+        load.into_iter()
+            .map(|(l, v)| (l, DataRate::bps(v)))
+            .collect()
+    }
+
+    /// Utilization of a specific link in `[0, 1]`.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let cap = self
+            .capacity
+            .get(&link)
+            .map_or(f64::INFINITY, |c| c.as_bps());
+        if !cap.is_finite() || cap == 0.0 {
+            return 0.0;
+        }
+        self.link_load()
+            .get(&link)
+            .map_or(0.0, |l| l.as_bps() / cap)
+    }
+
+    /// Fails a link: streams crossing it are rerouted around the failure
+    /// where possible; the ids of streams left with no path are removed and
+    /// returned. In-flight transfers on the link are treated the same way
+    /// (rerouted with their remaining bytes, or aborted and returned).
+    pub fn fail_link(&mut self, link: LinkId) -> FailureImpact {
+        self.routing.fail(link);
+        let mut lost_streams = Vec::new();
+        let mut lost_transfers = Vec::new();
+        let stream_ids: Vec<StreamId> = self.stream_order.clone();
+        for id in stream_ids {
+            let s = self.streams.get(&id).expect("ordered id exists");
+            if s.route.contains(&link) {
+                match self.routing.route(&self.topology, s.src, s.dst) {
+                    Some(route) => {
+                        self.streams.get_mut(&id).expect("exists").route = route;
+                    }
+                    None => {
+                        self.streams.remove(&id);
+                        self.stream_order.retain(|&x| x != id);
+                        lost_streams.push(id);
+                    }
+                }
+            }
+        }
+        let transfer_ids: Vec<TransferId> = self.transfer_order.clone();
+        for id in transfer_ids {
+            let t = self.transfers.get(&id).expect("ordered id exists");
+            if t.route.contains(&link) {
+                // Transfers do not remember endpoints; abort them (the
+                // application layer retries through a healthy path).
+                self.transfers.remove(&id);
+                self.transfer_order.retain(|&x| x != id);
+                lost_transfers.push(id);
+            }
+        }
+        self.reallocate();
+        FailureImpact {
+            lost_streams,
+            lost_transfers,
+        }
+    }
+
+    /// Repairs a link (new flows may use it again; existing flows keep
+    /// their current routes).
+    pub fn repair_link(&mut self, link: LinkId) {
+        self.routing.repair(link);
+    }
+}
+
+/// What a link failure cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureImpact {
+    /// Streams with no surviving path (removed).
+    pub lost_streams: Vec<StreamId>,
+    /// Transfers aborted by the failure.
+    pub lost_transfers: Vec<TransferId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+
+    fn two_node_net(gbps: f64) -> (FlowNet, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        topo.add_duplex(a, b, DataRate::gbps(gbps));
+        (FlowNet::new(topo, TcpModel::inter_soc()), a, b)
+    }
+
+    #[test]
+    fn single_transfer_takes_expected_time() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let size = DataSize::megabytes(112.875); // 903 Mbit → 1 s at goodput
+        net.start_transfer(a, b, size).unwrap();
+        let (finish, done) = net.run_to_idle();
+        assert_eq!(done.len(), 1);
+        let expected = TcpModel::inter_soc().transfer_time(size, DataRate::gbps(1.0));
+        assert!(
+            (finish.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-6,
+            "finish {finish} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn two_transfers_share_fairly() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let size = DataSize::megabits(903.0);
+        net.start_transfer(a, b, size).unwrap();
+        net.start_transfer(a, b, size).unwrap();
+        let (finish, done) = net.run_to_idle();
+        assert_eq!(done.len(), 2);
+        // Two flows at half goodput: ~2 s plus startup.
+        assert!((finish.as_secs_f64() - 2.0).abs() < 0.02, "finish {finish}");
+    }
+
+    #[test]
+    fn stream_reserves_bandwidth_from_transfers() {
+        let (mut net, a, b) = two_node_net(1.0);
+        net.add_stream(a, b, DataRate::mbps(500.0)).unwrap();
+        let size = DataSize::megabits(451.5); // 0.5 Gbit × 0.903 eff → 1 s at leftover
+        net.start_transfer(a, b, size).unwrap();
+        let (finish, _) = net.run_to_idle();
+        assert!((finish.as_secs_f64() - 1.0).abs() < 0.05, "finish {finish}");
+    }
+
+    #[test]
+    fn stream_rate_respects_demand() {
+        let (mut net, a, b) = two_node_net(10.0);
+        let s = net.add_stream(a, b, DataRate::mbps(16.0)).unwrap();
+        assert!((net.stream_rate(s).unwrap().as_mbps() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn removing_stream_restores_capacity() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let s = net.add_stream(a, b, DataRate::mbps(900.0)).unwrap();
+        assert!(net.link_utilization(LinkId(0)) > 0.85);
+        net.remove_stream(s).unwrap();
+        assert_eq!(net.link_utilization(LinkId(0)), 0.0);
+    }
+
+    #[test]
+    fn unreachable_pair_errors() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        let mut net = FlowNet::new(topo, TcpModel::inter_soc());
+        assert!(matches!(
+            net.start_transfer(a, b, DataSize::bytes(1.0)),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let s = net.add_stream(a, b, DataRate::mbps(1.0)).unwrap();
+        net.remove_stream(s).unwrap();
+        assert_eq!(net.remove_stream(s), Err(NetError::UnknownId));
+        assert_eq!(net.stream_rate(s), Err(NetError::UnknownId));
+    }
+
+    #[test]
+    fn advance_to_partial_then_complete() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let size = DataSize::megabits(903.0); // ~1 s
+        let id = net.start_transfer(a, b, size).unwrap();
+        let done = net.advance_to(SimTime::from_secs_f64(0.5));
+        assert!(done.is_empty());
+        assert_eq!(net.active_transfers(), 1);
+        let done = net.advance_to(SimTime::from_secs(5));
+        assert_eq!(done, vec![id]);
+        assert_eq!(net.active_transfers(), 0);
+    }
+
+    #[test]
+    fn cluster_cross_pcb_transfer_bottlenecked_by_pcb_uplink() {
+        let fabric = Topology::soc_cluster(10);
+        let mut net = FlowNet::new(fabric.topology.clone(), TcpModel::inter_soc());
+        // SoC0 (PCB0) → SoC9 (PCB1): crosses two 1 G uplinks.
+        let size = DataSize::megabits(903.0);
+        net.start_transfer(fabric.socs[0], fabric.socs[9], size)
+            .unwrap();
+        let (finish, _) = net.run_to_idle();
+        assert!((finish.as_secs_f64() - 1.0).abs() < 0.05, "finish {finish}");
+    }
+
+    #[test]
+    fn fail_link_reroutes_streams_with_alternatives() {
+        // Diamond: a→b→d and a→c→d.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        let c = topo.add_node(NodeKind::Host);
+        let d = topo.add_node(NodeKind::Host);
+        let ab = topo.add_link(a, b, DataRate::gbps(1.0));
+        topo.add_link(b, d, DataRate::gbps(1.0));
+        topo.add_link(a, c, DataRate::gbps(1.0));
+        topo.add_link(c, d, DataRate::gbps(1.0));
+        let mut net = FlowNet::new(topo, TcpModel::inter_soc());
+        let s = net.add_stream(a, d, DataRate::mbps(100.0)).unwrap();
+        let impact = net.fail_link(ab);
+        assert!(impact.lost_streams.is_empty(), "rerouted, not lost");
+        assert!((net.stream_rate(s).unwrap().as_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fail_link_drops_stranded_streams_and_transfers() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let s = net.add_stream(a, b, DataRate::mbps(100.0)).unwrap();
+        let t = net.start_transfer(a, b, DataSize::megabytes(10.0)).unwrap();
+        // The a→b direction is LinkId(0).
+        let impact = net.fail_link(LinkId(0));
+        assert_eq!(impact.lost_streams, vec![s]);
+        assert_eq!(impact.lost_transfers, vec![t]);
+        assert_eq!(net.active_streams(), 0);
+        assert_eq!(net.active_transfers(), 0);
+        // New flows on the failed path are refused…
+        assert!(net.add_stream(a, b, DataRate::mbps(1.0)).is_err());
+        // …until the link is repaired.
+        net.repair_link(LinkId(0));
+        assert!(net.add_stream(a, b, DataRate::mbps(1.0)).is_ok());
+    }
+
+    #[test]
+    fn later_transfer_slows_earlier_one() {
+        let (mut net, a, b) = two_node_net(1.0);
+        let id1 = net.start_transfer(a, b, DataSize::megabits(903.0)).unwrap();
+        // Let the first flow run alone for 0.5 s, then add a competitor.
+        net.advance_to(SimTime::from_secs_f64(0.5));
+        net.start_transfer(a, b, DataSize::megabits(903.0)).unwrap();
+        let (_, done) = net.run_to_idle();
+        // First completes first, second later; total order preserved.
+        assert_eq!(done.first(), Some(&id1));
+        // First flow: 0.5 s alone (≈50% done) + ~1 s shared = ~1.5 s total.
+        assert!(net.now().as_secs_f64() > 1.9, "end {}", net.now());
+    }
+}

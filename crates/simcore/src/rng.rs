@@ -1,0 +1,249 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! All stochastic components draw from a [`SimRng`], a seedable generator
+//! with support for *stream splitting*: deriving an independent child
+//! generator for a named subsystem so that adding randomness to one module
+//! does not perturb the draw sequence of another.
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, splittable random-number generator.
+///
+/// # Examples
+///
+/// ```
+/// use socc_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.next_f64(), b.next_f64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator for the subsystem `label`.
+    ///
+    /// The child's stream depends on the parent seed state and the label but
+    /// consuming it does not advance the parent, and two children with
+    /// different labels are (statistically) independent.
+    pub fn split(&self, label: &str) -> Self {
+        // FNV-1a over the label mixed with a draw-free peek of parent state:
+        // clone the parent so splitting does not advance it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut parent = self.inner.clone();
+        let base: u64 = parent.gen();
+        Self {
+            inner: SmallRng::seed_from_u64(base ^ h),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponential draw with the given rate (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -u.ln() / rate
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterized by the mean and sigma of the underlying
+    /// normal distribution.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Poisson draw with mean `lambda` (Knuth's method for small lambda,
+    /// normal approximation above 30).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson mean must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let v = self.normal(lambda, lambda.sqrt()).round();
+            return v.max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.uniform_usize(0, slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_usize(0, i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples from any `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..32).filter(|_| a.next_f64() == b.next_f64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn split_does_not_advance_parent() {
+        let parent = SimRng::seed(99);
+        let mut p1 = parent.clone();
+        let _child = parent.split("net");
+        let mut p2 = parent.clone();
+        assert_eq!(p1.next_f64(), p2.next_f64());
+    }
+
+    #[test]
+    fn split_streams_are_label_dependent() {
+        let parent = SimRng::seed(5);
+        let mut a = parent.split("alpha");
+        let mut b = parent.split("beta");
+        assert_ne!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::seed(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::seed(12);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.08, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_close_small_and_large() {
+        let mut r = SimRng::seed(13);
+        for lambda in [0.5, 4.0, 80.0] {
+            let n = 10_000;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.08,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed(14);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = SimRng::seed(15);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed(16);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Structured simulation trace: a bounded, filterable event log.
+//!
+//! Experiments and the orchestrator record what happened (placements,
+//! migrations, power transitions) so tests and post-mortems can replay the
+//! causal chain without println-debugging. The log is a ring buffer —
+//! long simulations keep the most recent window.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained progress.
+    Debug,
+    /// Normal state changes.
+    Info,
+    /// Something degraded (rejection, migration).
+    Warn,
+    /// Something failed (fault, drop).
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem tag ("orchestrator", "bmc", "net", …).
+    pub scope: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {:>5} {}: {}",
+            self.at.as_secs_f64(),
+            self.level,
+            self.scope,
+            self.message
+        )
+    }
+}
+
+/// A bounded trace log.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: std::collections::VecDeque<Entry>,
+    capacity: usize,
+    min_level: Level,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` entries at or above
+    /// `min_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, min_level: Level) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            entries: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            min_level,
+            dropped: 0,
+        }
+    }
+
+    /// A 4,096-entry Info-level trace.
+    pub fn default_info() -> Self {
+        Self::new(4096, Level::Info)
+    }
+
+    /// Records an entry (filtered by level; oldest entries evicted first).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        level: Level,
+        scope: &'static str,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(Entry {
+            at,
+            level,
+            scope,
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained entries oldest-first.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries in a scope.
+    pub fn in_scope<'a>(&'a self, scope: &'a str) -> impl Iterator<Item = &'a Entry> {
+        self.entries.iter().filter(move |e| e.scope == scope)
+    }
+
+    /// Retained entries at or above a level.
+    pub fn at_least(&self, level: Level) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(move |e| e.level >= level)
+    }
+
+    /// Renders the retained log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order_and_filters_level() {
+        let mut tr = Trace::new(10, Level::Info);
+        tr.record(t(1), Level::Debug, "x", "ignored");
+        tr.record(t(2), Level::Info, "x", "kept");
+        tr.record(t(3), Level::Error, "y", "bad");
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.at_least(Level::Error).count(), 1);
+        assert_eq!(tr.in_scope("x").count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(3, Level::Debug);
+        for i in 0..5 {
+            tr.record(t(i), Level::Info, "s", format!("m{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let first = tr.entries().next().unwrap();
+        assert_eq!(first.message, "m2");
+    }
+
+    #[test]
+    fn render_contains_timestamps() {
+        let mut tr = Trace::default_info();
+        tr.record(t(7), Level::Warn, "net", "link down");
+        let s = tr.render();
+        assert!(s.contains("7.000000s"));
+        assert!(s.contains("WARN"));
+        assert!(s.contains("link down"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0, Level::Debug);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Error > Level::Warn);
+        assert!(Level::Warn > Level::Info);
+        assert!(Level::Info > Level::Debug);
+    }
+}

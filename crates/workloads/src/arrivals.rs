@@ -1,0 +1,248 @@
+//! Arrival processes: Poisson, Markov-modulated, and diurnal-modulated.
+//!
+//! Edge workloads are "mainly user-centric, therefore highly dependent on
+//! user activities" (§2.3) — load generators need both memoryless arrivals
+//! and realistic day-shaped modulation.
+
+use socc_sim::rng::SimRng;
+use socc_sim::time::{SimDuration, SimTime};
+
+/// A homogeneous Poisson arrival process.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    rate_per_s: f64,
+}
+
+impl Poisson {
+    /// Creates a process with the given arrival rate (events/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not strictly positive.
+    pub fn new(rate_per_s: f64) -> Self {
+        assert!(rate_per_s > 0.0, "rate must be positive");
+        Self { rate_per_s }
+    }
+
+    /// Generates arrival times in `[0, horizon)`.
+    pub fn generate(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(self.rate_per_s);
+            if t >= horizon.as_secs_f64() {
+                return out;
+            }
+            out.push(SimTime::from_secs_f64(t));
+        }
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (bursty arrivals).
+#[derive(Debug, Clone)]
+pub struct Mmpp2 {
+    /// Arrival rate in the calm state (events/s).
+    pub calm_rate: f64,
+    /// Arrival rate in the burst state.
+    pub burst_rate: f64,
+    /// Mean dwell time in the calm state (s).
+    pub calm_dwell_s: f64,
+    /// Mean dwell time in the burst state (s).
+    pub burst_dwell_s: f64,
+}
+
+impl Mmpp2 {
+    /// Generates arrival times in `[0, horizon)`.
+    pub fn generate(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let end = horizon.as_secs_f64();
+        let mut bursty = false;
+        let mut state_ends = rng.exponential(1.0 / self.calm_dwell_s);
+        while t < end {
+            let rate = if bursty {
+                self.burst_rate
+            } else {
+                self.calm_rate
+            };
+            let next = t + rng.exponential(rate);
+            if next < state_ends.min(end) {
+                out.push(SimTime::from_secs_f64(next));
+                t = next;
+            } else {
+                t = state_ends;
+                bursty = !bursty;
+                let dwell = if bursty {
+                    self.burst_dwell_s
+                } else {
+                    self.calm_dwell_s
+                };
+                state_ends = t + rng.exponential(1.0 / dwell);
+            }
+        }
+        out
+    }
+
+    /// Long-run average arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        let total = self.calm_dwell_s + self.burst_dwell_s;
+        (self.calm_rate * self.calm_dwell_s + self.burst_rate * self.burst_dwell_s) / total
+    }
+}
+
+/// A non-homogeneous Poisson process whose rate follows a diurnal shape
+/// (thinning method).
+#[derive(Debug, Clone)]
+pub struct DiurnalPoisson {
+    /// Peak arrival rate (events/s) at the peak hour.
+    pub peak_rate: f64,
+    /// Trough-to-peak ratio in `(0, 1]`.
+    pub trough_ratio: f64,
+    /// Hour of day of the peak.
+    pub peak_hour: f64,
+}
+
+impl DiurnalPoisson {
+    /// Instantaneous rate at an absolute time (day starts at t = 0).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let hour = (t.as_secs_f64() / 3600.0) % 24.0;
+        let phase = (hour - self.peak_hour) / 24.0 * core::f64::consts::TAU;
+        let shape = (1.0 + phase.cos()) / 2.0;
+        self.peak_rate * (self.trough_ratio + (1.0 - self.trough_ratio) * shape)
+    }
+
+    /// Generates arrival times in `[0, horizon)` by thinning.
+    pub fn generate(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let end = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(self.peak_rate);
+            if t >= end {
+                return out;
+            }
+            let at = SimTime::from_secs_f64(t);
+            if rng.chance(self.rate_at(at) / self.peak_rate) {
+                out.push(at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = SimRng::seed(5);
+        let arrivals = Poisson::new(10.0).generate(SimDuration::from_secs(1000), &mut rng);
+        let rate = arrivals.len() as f64 / 1000.0;
+        assert!((rate - 10.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_times_sorted_and_bounded() {
+        let mut rng = SimRng::seed(6);
+        let horizon = SimDuration::from_secs(100);
+        let arrivals = Poisson::new(5.0).generate(horizon, &mut rng);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t < SimTime::ZERO + horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = Poisson::new(0.0);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_between_states() {
+        let p = Mmpp2 {
+            calm_rate: 1.0,
+            burst_rate: 50.0,
+            calm_dwell_s: 90.0,
+            burst_dwell_s: 10.0,
+        };
+        let mut rng = SimRng::seed(7);
+        let arrivals = p.generate(SimDuration::from_secs(20_000), &mut rng);
+        let rate = arrivals.len() as f64 / 20_000.0;
+        assert!(
+            (rate - p.mean_rate()).abs() / p.mean_rate() < 0.15,
+            "rate {rate}"
+        );
+        assert!(p.mean_rate() > 1.0 && p.mean_rate() < 50.0);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Compare squared coefficient of variation of interarrivals.
+        let scv = |times: &[SimTime]| {
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            let mean = socc_sim::stats::mean(&gaps);
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let mut rng = SimRng::seed(8);
+        let mmpp = Mmpp2 {
+            calm_rate: 1.0,
+            burst_rate: 60.0,
+            calm_dwell_s: 60.0,
+            burst_dwell_s: 6.0,
+        };
+        let bursty = mmpp.generate(SimDuration::from_secs(30_000), &mut rng);
+        let smooth =
+            Poisson::new(mmpp.mean_rate()).generate(SimDuration::from_secs(30_000), &mut rng);
+        assert!(
+            scv(&bursty) > 2.0 * scv(&smooth),
+            "{} vs {}",
+            scv(&bursty),
+            scv(&smooth)
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let d = DiurnalPoisson {
+            peak_rate: 100.0,
+            trough_ratio: 0.05,
+            peak_hour: 21.0,
+        };
+        let peak = d.rate_at(SimTime::from_secs_f64(21.0 * 3600.0));
+        let trough = d.rate_at(SimTime::from_secs_f64(9.0 * 3600.0));
+        assert!((peak - 100.0).abs() < 1e-9);
+        assert!(trough < 0.1 * peak);
+    }
+
+    #[test]
+    fn diurnal_thinning_tracks_shape() {
+        let d = DiurnalPoisson {
+            peak_rate: 2.0,
+            trough_ratio: 0.1,
+            peak_hour: 12.0,
+        };
+        let mut rng = SimRng::seed(9);
+        let arrivals = d.generate(SimDuration::from_hours(24), &mut rng);
+        // Count arrivals near noon vs near midnight.
+        let noon = arrivals
+            .iter()
+            .filter(|t| (10.0..14.0).contains(&(t.as_secs_f64() / 3600.0)))
+            .count();
+        let midnight = arrivals
+            .iter()
+            .filter(|t| {
+                let h = t.as_secs_f64() / 3600.0;
+                !(2.0..22.0).contains(&h)
+            })
+            .count();
+        assert!(
+            noon > 3 * midnight.max(1),
+            "noon {noon} vs midnight {midnight}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: build a 60-SoC cluster, deploy a mixed workload, and read
+//! power through the BMC — the core API tour.
+//!
+//! Run with: `cargo run -p socc-examples --bin quickstart`
+
+use socc_cluster::bmc::{encode_command, BmcCommand, BmcResponse};
+use socc_cluster::orchestrator::{Orchestrator, OrchestratorConfig};
+use socc_cluster::workload::{SocProcessor, WorkloadSpec};
+use socc_dl::{DType, ModelId};
+use socc_sim::time::SimTime;
+
+fn main() {
+    // A default cluster: 60 Snapdragon 865 SoCs, bin-pack scheduling,
+    // 30-second idle-to-sleep policy.
+    let mut orch = Orchestrator::new(OrchestratorConfig::default());
+    println!(
+        "cluster: {} SoCs on {} PCBs",
+        orch.cluster().soc_count(),
+        orch.cluster().pcb_count()
+    );
+    println!("idle power: {:.1}", orch.power());
+
+    // Deploy a mix: 20 live V1 transcodes on SoC CPUs, 10 on hardware
+    // codecs, an INT8 ResNet-50 serving pool on DSPs, and a gaming session.
+    let v1 = socc_video::vbench::by_id("V1").expect("vbench V1");
+    let mut ids = Vec::new();
+    for _ in 0..20 {
+        ids.push(
+            orch.submit(WorkloadSpec::LiveStreamCpu { video: v1.clone() })
+                .expect("capacity"),
+        );
+    }
+    for _ in 0..10 {
+        ids.push(
+            orch.submit(WorkloadSpec::LiveStreamHw { video: v1.clone() })
+                .expect("capacity"),
+        );
+    }
+    for _ in 0..4 {
+        ids.push(
+            orch.submit(WorkloadSpec::DlServe {
+                processor: SocProcessor::Dsp,
+                model: ModelId::ResNet50,
+                dtype: DType::Int8,
+                offered_fps: 100.0,
+            })
+            .expect("capacity"),
+        );
+    }
+    ids.push(
+        orch.submit(WorkloadSpec::GamingSession { stream_mbps: 12.0 })
+            .expect("capacity"),
+    );
+
+    println!(
+        "deployed {} workloads, power now {:.1}",
+        orch.active_workloads(),
+        orch.power()
+    );
+    let (active, idle, sleep, off) = orch.cluster().state_counts();
+    println!("soc states: {active} active, {idle} idle, {sleep} asleep, {off} off");
+
+    // Let an hour pass; idle SoCs fall asleep and the meter integrates.
+    orch.advance_to(SimTime::from_secs(3600));
+    let (active, idle, sleep, _) = orch.cluster().state_counts();
+    println!(
+        "after 1h: {active} active / {idle} idle / {sleep} asleep, energy {:.0} ({:.3} kWh)",
+        orch.energy(),
+        orch.energy().as_kilowatt_hours()
+    );
+
+    // Read the chassis power the way the paper did: through the BMC's
+    // I2C-style protocol (§3).
+    let frame = encode_command(BmcCommand::ReadChassisPower);
+    match orch.cluster().bmc.clone().handle_frame(&frame) {
+        Ok(BmcResponse::PowerCw(cw)) => {
+            println!("BMC chassis power readout: {:.2} W", cw as f64 / 100.0)
+        }
+        other => println!("unexpected BMC response: {other:?}"),
+    }
+
+    // Tear down and watch the fleet drain to sleep.
+    for id in ids {
+        let _ = orch.finish(id);
+    }
+    orch.advance_to(SimTime::from_secs(7200));
+    println!("after teardown + sleep: {:.1}", orch.power());
+    println!("stats: {:?}", orch.stats());
+}

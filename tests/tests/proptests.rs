@@ -1,0 +1,411 @@
+//! Property-based tests over the core invariants of every substrate.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use socc_cluster::soc::{Demand, SocUnit};
+use socc_cluster::DeploymentMode;
+use socc_hw::power::{LoadPowerModel, PowerState, Utilization};
+use socc_net::fairness::{max_min_fair, FlowDemand};
+use socc_net::LinkId;
+use socc_sim::event::EventQueue;
+use socc_sim::series::TimeSeries;
+use socc_sim::time::SimTime;
+use socc_sim::units::DataRate;
+
+proptest! {
+    /// The event queue pops in (time, insertion) order for any input.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Max-min fairness never oversubscribes a link and never exceeds a
+    /// flow's demand.
+    #[test]
+    fn fairness_feasibility(
+        caps in prop::collection::vec(1.0f64..10.0, 1..6),
+        flows in prop::collection::vec(
+            (prop::collection::vec(0usize..6, 1..4), prop::option::of(1.0f64..5000.0)),
+            1..20
+        )
+    ) {
+        let capacity: HashMap<LinkId, DataRate> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (LinkId(i as u32), DataRate::gbps(g)))
+            .collect();
+        let demands: Vec<FlowDemand> = flows
+            .iter()
+            .map(|(route, demand)| FlowDemand {
+                route: route
+                    .iter()
+                    .filter(|&&l| l < caps.len())
+                    .map(|&l| LinkId(l as u32))
+                    .collect(),
+                demand: demand.map(DataRate::mbps),
+            })
+            .collect();
+        let rates = max_min_fair(&demands, &capacity);
+        prop_assert_eq!(rates.len(), demands.len());
+        let mut used: HashMap<LinkId, f64> = HashMap::new();
+        for (d, r) in demands.iter().zip(&rates) {
+            prop_assert!(r.as_bps() >= 0.0);
+            if let Some(demand) = d.demand {
+                prop_assert!(r.as_bps() <= demand.as_bps() * (1.0 + 1e-9) + 1.0);
+            }
+            for l in &d.route {
+                *used.entry(*l).or_insert(0.0) += r.as_bps();
+            }
+        }
+        for (l, total) in used {
+            prop_assert!(
+                total <= capacity[&l].as_bps() * (1.0 + 1e-9) + 10.0,
+                "link {:?} over capacity", l
+            );
+        }
+    }
+
+    /// Work conservation: on a single shared link with all-elastic flows,
+    /// the allocation saturates the link.
+    #[test]
+    fn fairness_work_conservation(n in 1usize..40, gbps in 0.1f64..40.0) {
+        let capacity: HashMap<LinkId, DataRate> =
+            [(LinkId(0), DataRate::gbps(gbps))].into_iter().collect();
+        let demands: Vec<FlowDemand> =
+            (0..n).map(|_| FlowDemand { route: vec![LinkId(0)], demand: None }).collect();
+        let rates = max_min_fair(&demands, &capacity);
+        let total: f64 = rates.iter().map(|r| r.as_bps()).sum();
+        prop_assert!((total - gbps * 1e9).abs() / (gbps * 1e9) < 1e-6);
+        // And fairness: all equal.
+        for r in &rates {
+            prop_assert!((r.as_bps() - total / n as f64).abs() < 1.0);
+        }
+    }
+
+    /// Power models are monotone in utilization and bounded by peak.
+    #[test]
+    fn power_monotone_in_load(
+        idle in 0.0f64..50.0,
+        activation in 0.0f64..100.0,
+        dynamic in 0.0f64..400.0,
+        steps in 2usize..20
+    ) {
+        let m = LoadPowerModel::new(idle, activation, dynamic);
+        let mut prev = m.power(PowerState::Active, Utilization::ZERO);
+        for i in 1..=steps {
+            let u = Utilization::new(i as f64 / steps as f64);
+            let p = m.power(PowerState::Active, u);
+            prop_assert!(p >= prev, "power must not fall with load");
+            prop_assert!(p <= m.peak() + socc_sim::units::Power::watts(1e-9));
+            prev = p;
+        }
+        prop_assert!(m.power(PowerState::Sleep, Utilization::ZERO)
+            <= m.power(PowerState::Idle, Utilization::ZERO));
+    }
+
+    /// A SoC never accepts demand beyond its capacity, and place/release
+    /// round-trips restore the exact usage.
+    #[test]
+    fn soc_accounting_roundtrip(
+        demands in prop::collection::vec(
+            (0.0f64..2000.0, 0.0f64..8e5, 0usize..6, 0.0f64..0.4, 0.0f64..0.4, 0.0f64..2.0, 0.0f64..300.0),
+            1..12
+        )
+    ) {
+        let mut soc = SocUnit::new(0, DeploymentMode::Physical);
+        let baseline = soc.used();
+        let mut placed = Vec::new();
+        for (cpu, codec, sessions, gpu, dsp, mem, net) in demands {
+            let d = Demand {
+                cpu_pu: cpu,
+                codec_mb_s: codec,
+                codec_sessions: sessions,
+                gpu_frac: gpu,
+                dsp_frac: dsp,
+                mem_gb: mem,
+                net_mbps: net,
+            };
+            if soc.fits(&d) {
+                soc.place(&d);
+                placed.push(d);
+            }
+        }
+        // Invariants while loaded.
+        prop_assert!(soc.used().cpu_pu <= soc.spec.cpu.transcode_capacity() + 1e-6);
+        prop_assert!(soc.used().codec_sessions <= soc.spec.codec.max_sessions);
+        prop_assert!(soc.used().gpu_frac <= 1.0 + 1e-6);
+        // Release everything: usage returns to the baseline.
+        for d in placed.iter().rev() {
+            soc.release(d);
+        }
+        prop_assert!((soc.used().cpu_pu - baseline.cpu_pu).abs() < 1e-6);
+        prop_assert!((soc.used().mem_gb - baseline.mem_gb).abs() < 1e-6);
+        prop_assert_eq!(soc.used().codec_sessions, baseline.codec_sessions);
+        prop_assert!(soc.is_idle());
+    }
+
+    /// Time-series step integration equals the sum of rectangle areas for
+    /// any sample set.
+    #[test]
+    fn timeseries_integration_matches_rectangles(
+        mut points in prop::collection::vec((0u64..10_000, -50.0f64..50.0), 1..30),
+        extend in 1u64..1000
+    ) {
+        points.sort_by_key(|&(t, _)| t);
+        points.dedup_by_key(|&mut (t, _)| t);
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &points {
+            ts.push(SimTime::from_nanos(t), v);
+        }
+        let end = SimTime::from_nanos(points.last().unwrap().0 + extend);
+        let start = SimTime::from_nanos(points[0].0);
+        let mut expected = 0.0;
+        for w in points.windows(2) {
+            expected += w[0].1 * (w[1].0 - w[0].0) as f64 / 1e9;
+        }
+        expected += points.last().unwrap().1 * extend as f64 / 1e9;
+        let got = ts.integrate(start, end);
+        prop_assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
+    }
+
+    /// Tensor-parallel plans conserve sanity for every model and size:
+    /// compute shrinks monotonically, totals stay positive, pipelining
+    /// never hurts.
+    #[test]
+    fn collab_plan_invariants(socs in 1usize..=8) {
+        for model in socc_dl::ModelId::ALL {
+            let plain = socc_dl::parallel::tensor_parallel(
+                model,
+                socc_dl::parallel::CollabConfig { socs, pipelined: false },
+            );
+            let piped = socc_dl::parallel::tensor_parallel(
+                model,
+                socc_dl::parallel::CollabConfig { socs, pipelined: true },
+            );
+            prop_assert!(plain.total >= plain.compute);
+            prop_assert!(piped.total <= plain.total);
+            prop_assert!(plain.comm_share() < 1.0);
+            if socs > 1 {
+                let single = socc_dl::parallel::tensor_parallel(
+                    model,
+                    socc_dl::parallel::CollabConfig { socs: 1, pipelined: false },
+                );
+                prop_assert!(plain.compute < single.compute);
+            }
+        }
+    }
+
+    /// TCO accounting identity: monthly TCO = CapEx/36 + electricity, and
+    /// electricity = kWh × price × PUE, for any power level.
+    #[test]
+    fn tco_identities(watts in 1.0f64..5000.0) {
+        for platform in socc_tco::Platform::ALL {
+            let b = socc_tco::tco::breakdown_at_power(platform, watts);
+            prop_assert!((b.monthly_tco - (b.monthly_capex + b.monthly_electricity)).abs() < 1e-9);
+            let expected_kwh = watts * 0.5 * 24.0 * 30.0 / 1000.0;
+            prop_assert!((b.monthly_kwh - expected_kwh).abs() < 1e-9);
+            prop_assert!(
+                (b.monthly_electricity
+                    - b.monthly_kwh * socc_tco::tco::ELECTRICITY_USD_PER_KWH * 2.0)
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    /// Rate control: output bitrate is never below the encoder's floor and
+    /// x264 always tracks achievable targets.
+    #[test]
+    fn ratecontrol_floor_invariant(target_kbps in 5.0f64..60_000.0) {
+        use socc_video::ratecontrol::{EncoderKind, RateControl};
+        for v in socc_video::vbench::videos() {
+            for enc in [EncoderKind::X264, EncoderKind::MediaCodec, EncoderKind::Nvenc] {
+                let out = enc.output_bitrate(&v, RateControl::Cbr(DataRate::kbps(target_kbps)));
+                let floor = enc.min_bits_per_pixel() * v.pixels_per_s();
+                prop_assert!(out.as_bps() >= floor - 1.0, "{:?} {}", enc, v.id);
+                prop_assert!(out.as_bps() >= 0.0);
+            }
+        }
+    }
+
+    /// PSNR is monotone in bitrate for every encoder and video.
+    #[test]
+    fn psnr_monotone_in_bitrate(kbps in 20.0f64..20_000.0) {
+        use socc_video::quality::psnr;
+        use socc_video::ratecontrol::EncoderKind;
+        for v in socc_video::vbench::videos() {
+            for enc in [EncoderKind::X264, EncoderKind::Nvenc, EncoderKind::MediaCodec] {
+                let lo = psnr(enc, &v, DataRate::kbps(kbps));
+                let hi = psnr(enc, &v, DataRate::kbps(kbps * 2.0));
+                prop_assert!(hi >= lo - 1e-9, "{:?} {}", enc, v.id);
+            }
+        }
+    }
+
+    /// Synthetic video costs scale monotonically with resolution, fps and
+    /// entropy.
+    #[test]
+    fn video_cost_monotonicity(
+        w in 320u32..3840,
+        h in 240u32..2160,
+        fps in 10.0f64..60.0,
+        entropy in 0.1f64..8.0
+    ) {
+        use socc_video::{Resolution, VideoMeta};
+        let base = VideoMeta::synthetic(
+            "S", "s", Resolution::new(w, h), fps, entropy,
+            DataRate::mbps(5.0), DataRate::mbps(2.0),
+        );
+        let bigger = VideoMeta::synthetic(
+            "S", "s", Resolution::new(w + 64, h + 64), fps, entropy,
+            DataRate::mbps(5.0), DataRate::mbps(2.0),
+        );
+        let busier = VideoMeta::synthetic(
+            "S", "s", Resolution::new(w, h), fps, entropy + 0.5,
+            DataRate::mbps(5.0), DataRate::mbps(2.0),
+        );
+        prop_assert!(bigger.cpu_cost_pu() > base.cpu_cost_pu());
+        prop_assert!(busier.cpu_cost_pu() > base.cpu_cost_pu());
+        prop_assert!(base.cpu_cost_pu() > 0.0);
+    }
+
+    /// GOP budget conservation: whenever B-frames exist and the B-size
+    /// floor is not active, the per-GOP sum of relative frame sizes equals
+    /// the GOP length exactly.
+    #[test]
+    fn gop_budget_conserved_for_any_structure(
+        length in 10usize..240,
+        b_frames in 1usize..4,
+        i_ratio in 2.0f64..12.0,
+        p_ratio in 0.8f64..1.6
+    ) {
+        use socc_video::gop::GopStructure;
+        let gop = GopStructure { length, b_frames, i_ratio, p_ratio };
+        prop_assume!(gop.b_ratio() > 0.051); // floor not active
+        let total: f64 = (0..length).map(|i| gop.ratio_of(gop.kind_at(i))).sum();
+        prop_assert!(
+            (total - length as f64).abs() < length as f64 * 1e-9,
+            "total {total} vs length {length}"
+        );
+    }
+
+    /// Pipeline plans tile the graph and keep throughput at least the
+    /// single-stage value, for every model and stage count.
+    #[test]
+    fn pipeline_plan_invariants(stages in 1usize..8) {
+        for model in socc_dl::ModelId::ALL {
+            let p = socc_dl::pipeline::plan(model, stages);
+            prop_assert_eq!(p.stages.len(), stages);
+            prop_assert_eq!(p.stages[0].start, 0);
+            prop_assert_eq!(p.stages.last().unwrap().end, model.graph().len());
+            for w in p.stages.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            let single = socc_dl::pipeline::plan(model, 1);
+            prop_assert!(p.throughput >= single.throughput * 0.99);
+            prop_assert!(p.latency >= single.latency * 0.99);
+        }
+    }
+
+    /// DVFS: pacing never uses more energy than racing when both meet the
+    /// deadline, across random load levels.
+    #[test]
+    fn dvfs_pacing_never_worse(load in 0.05f64..1.0, deadline_ms in 5u64..100) {
+        use socc_hw::dvfs::{DvfsDomain, Governor};
+        let domain = DvfsDomain::kryo585_prime();
+        let deadline = socc_sim::time::SimDuration::from_millis(deadline_ms);
+        let cycles = domain.max_opp().freq.get() * load * deadline.as_secs_f64();
+        let race = domain.energy_for(cycles, deadline, Governor::Performance);
+        let pace = domain.energy_for(cycles, deadline, Governor::PaceToDeadline);
+        prop_assert!(race.is_some(), "performance always meets feasible deadlines");
+        let (race, pace) = (race.unwrap(), pace.unwrap());
+        prop_assert!(pace.energy.as_joules() <= race.energy.as_joules() * (1.0 + 1e-9));
+    }
+
+    /// ABR ladder pricing is internally consistent for synthetic sources.
+    #[test]
+    fn abr_pricing_consistent(
+        w in 1280u32..3840,
+        h in 720u32..2160,
+        entropy in 0.2f64..8.0,
+        mbps in 1.0f64..40.0
+    ) {
+        use socc_video::abr::{price_ladder, Ladder};
+        use socc_video::{Resolution, VideoMeta};
+        let v = VideoMeta::synthetic(
+            "S", "s", Resolution::new(w, h), 30.0, entropy,
+            DataRate::mbps(mbps * 2.0), DataRate::mbps(mbps),
+        );
+        let ladder = Ladder::standard(&v);
+        let cost = price_ladder(&v, &ladder);
+        prop_assert!(cost.cpu_pu >= v.cpu_cost_pu() * 0.999);
+        prop_assert!(cost.net_mbps >= v.stream_traffic().as_mbps() * 0.999);
+        prop_assert_eq!(cost.hw_sessions, ladder.renditions.len());
+        // Egress is the sum of rungs.
+        let sum: f64 = ladder.renditions.iter().map(|r| r.bitrate.as_bps()).sum();
+        prop_assert!((ladder.egress().as_bps() - sum).abs() < 1.0);
+    }
+
+    /// Failure-aware routing never routes through a failed link.
+    #[test]
+    fn failed_links_never_appear_in_routes(
+        fail_count in 0usize..20,
+        seed in 0u64..1000
+    ) {
+        use socc_net::failure::FailureAwareRouting;
+        use socc_net::topology::Topology;
+        let fabric = Topology::soc_cluster(30);
+        let mut rng = socc_sim::rng::SimRng::seed(seed);
+        let mut routing = FailureAwareRouting::new();
+        for _ in 0..fail_count {
+            let l = socc_net::LinkId(rng.uniform_usize(0, fabric.topology.link_count()) as u32);
+            routing.fail(l);
+        }
+        for _ in 0..10 {
+            let a = fabric.socs[rng.uniform_usize(0, 30)];
+            let b = fabric.socs[rng.uniform_usize(0, 30)];
+            if let Some(route) = routing.route(&fabric.topology, a, b) {
+                for link in route {
+                    prop_assert!(routing.usable(link), "route used failed link");
+                }
+            }
+        }
+    }
+
+    /// TCO sensitivity: monthly TCO is monotone in every assumption.
+    #[test]
+    fn tco_monotone_in_assumptions(
+        price in 0.01f64..1.0,
+        pue in 1.0f64..3.0,
+        months in 12.0f64..84.0,
+        duty in 0.0f64..1.0
+    ) {
+        use socc_tco::sensitivity::CostAssumptions;
+        let base = CostAssumptions {
+            electricity_usd_per_kwh: price,
+            pue,
+            lifetime_months: months,
+            duty_factor: duty,
+        };
+        for p in socc_tco::Platform::ALL {
+            let t0 = base.monthly_tco(p);
+            let pricier = CostAssumptions { electricity_usd_per_kwh: price * 1.5, ..base };
+            prop_assert!(pricier.monthly_tco(p) >= t0);
+            let longer = CostAssumptions { lifetime_months: months * 1.5, ..base };
+            prop_assert!(longer.monthly_tco(p) <= t0);
+            let hotter = CostAssumptions { pue: pue + 0.5, ..base };
+            prop_assert!(hotter.monthly_tco(p) >= t0);
+        }
+    }
+}
