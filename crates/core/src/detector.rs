@@ -1,0 +1,275 @@
+//! Failure detection: in-band heartbeat monitoring with out-of-band
+//! classification.
+//!
+//! Detection follows the two-channel design the prototype's hardware
+//! affords (§2.2): each SoC's node agent heartbeats the orchestrator over
+//! the data fabric, so *any* fault that stops the agent — crash, hang,
+//! thermal trip, link loss — shows up as missed heartbeats within one
+//! detection window. The BMC's I2C management channel is out-of-band and
+//! keeps working when the fabric does not, so once a SoC goes silent the
+//! detector probes it through real BMC wire frames (temperature, power) and
+//! the fabric's routing state to decide *which* failure mode it is looking
+//! at.
+
+use socc_net::failure::FailureAwareRouting;
+use socc_net::topology::{ClusterFabric, LinkId};
+use socc_sim::time::{SimDuration, SimTime};
+
+use crate::bmc::{encode_command, BmcCommand, BmcResponse};
+use crate::cluster::SocCluster;
+use crate::faults::FaultKind;
+
+/// Junction temperature at or above which a silent SoC is classified as
+/// thermally tripped (the Snapdragon's protective shutdown point).
+pub const THERMAL_TRIP_C: f64 = 95.0;
+
+/// What the detector concluded about a silent SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectedClass {
+    /// Hard death — no power draw. Flash or DRAM is gone; the slot stays
+    /// dark until the PCB is swapped.
+    Crash,
+    /// The SoC draws power and is reachable but stopped making progress; a
+    /// BMC power cycle recovers it.
+    Hang,
+    /// Protective thermal shutdown; the SoC returns after it cools.
+    ThermalTrip,
+    /// The SoC is up but its fabric access link is down; it returns when
+    /// the link is repaired.
+    LinkLoss,
+}
+
+impl DetectedClass {
+    /// Whether remediation can return the SoC to service.
+    pub fn recoverable(self) -> bool {
+        !matches!(self, DetectedClass::Crash)
+    }
+
+    /// Short label for telemetry counter names and trace messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectedClass::Crash => "crash",
+            DetectedClass::Hang => "hang",
+            DetectedClass::ThermalTrip => "thermal_trip",
+            DetectedClass::LinkLoss => "link_loss",
+        }
+    }
+
+    /// The class a correct detector should assign to a ground-truth fault
+    /// kind (used by tests to check the classifier against the injector).
+    pub fn expected_for(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::Flash | FaultKind::Memory => DetectedClass::Crash,
+            FaultKind::SocHang => DetectedClass::Hang,
+            FaultKind::ThermalTrip => DetectedClass::ThermalTrip,
+            FaultKind::LinkLoss => DetectedClass::LinkLoss,
+        }
+    }
+}
+
+/// Tracks per-SoC heartbeats and flags SoCs whose last beat is older than
+/// the detection window.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    window: SimDuration,
+    last_seen: Vec<SimTime>,
+    reported: Vec<bool>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor for `soc_count` SoCs; every SoC counts as freshly
+    /// seen at time zero.
+    pub fn new(soc_count: usize, window: SimDuration) -> Self {
+        Self {
+            window,
+            last_seen: vec![SimTime::ZERO; soc_count],
+            reported: vec![false; soc_count],
+        }
+    }
+
+    /// The configured detection window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records a heartbeat from a SoC.
+    pub fn beat(&mut self, soc: usize, at: SimTime) {
+        if let Some(t) = self.last_seen.get_mut(soc) {
+            *t = (*t).max(at);
+        }
+    }
+
+    /// SoCs (ascending) whose heartbeat is overdue and that have not yet
+    /// been reported. Detection fires strictly *after* the window elapses.
+    pub fn overdue(&self, now: SimTime) -> Vec<usize> {
+        (0..self.last_seen.len())
+            .filter(|&i| !self.reported[i] && now.saturating_since(self.last_seen[i]) > self.window)
+            .collect()
+    }
+
+    /// Marks a SoC as reported so it is not flagged again while it is being
+    /// remediated.
+    pub fn confirm(&mut self, soc: usize) {
+        if let Some(r) = self.reported.get_mut(soc) {
+            *r = true;
+        }
+    }
+
+    /// Re-arms monitoring for a SoC returning to service at `at`.
+    pub fn clear(&mut self, soc: usize, at: SimTime) {
+        if let Some(r) = self.reported.get_mut(soc) {
+            *r = false;
+            self.last_seen[soc] = at;
+        }
+    }
+}
+
+/// Both directions of a SoC's fabric access link, for failing/repairing.
+pub fn access_links(fabric: &ClusterFabric, soc: usize) -> Vec<LinkId> {
+    let node = fabric.socs[soc];
+    (0..fabric.topology.link_count() as u32)
+        .map(LinkId)
+        .filter(|&id| {
+            let link = fabric.topology.link(id);
+            link.src == node || link.dst == node
+        })
+        .collect()
+}
+
+/// Classifies a silent SoC by probing out-of-band state: BMC temperature
+/// (thermal trip), fabric reachability (link loss), BMC power (crash), and
+/// otherwise a hang. Probes go through the framed BMC wire protocol.
+pub fn classify(
+    cluster: &mut SocCluster,
+    routing: &FailureAwareRouting,
+    fabric: &ClusterFabric,
+    soc: usize,
+) -> DetectedClass {
+    let temp_frame = encode_command(BmcCommand::ReadSocTemp(soc as u8));
+    if let Ok(BmcResponse::TempDc(dc)) = cluster.bmc.handle_frame(&temp_frame) {
+        if f64::from(dc) / 10.0 >= THERMAL_TRIP_C {
+            return DetectedClass::ThermalTrip;
+        }
+    }
+    if routing
+        .route(&fabric.topology, fabric.socs[soc], fabric.external)
+        .is_none()
+    {
+        return DetectedClass::LinkLoss;
+    }
+    let power_frame = encode_command(BmcCommand::ReadSocPower(soc as u8));
+    if let Ok(BmcResponse::PowerCw(cw)) = cluster.bmc.handle_frame(&power_frame) {
+        if cw == 0 {
+            return DetectedClass::Crash;
+        }
+    }
+    DetectedClass::Hang
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, SocCluster};
+    use socc_net::topology::Topology;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn monitor_flags_only_after_window() {
+        let mut m = HeartbeatMonitor::new(3, SimDuration::from_secs(5));
+        m.beat(0, secs(10));
+        m.beat(1, secs(10));
+        m.beat(2, secs(12));
+        assert!(m.overdue(secs(15)).is_empty(), "window not yet exceeded");
+        assert_eq!(m.overdue(secs(16)), vec![0, 1]);
+        m.confirm(0);
+        assert_eq!(m.overdue(secs(16)), vec![1]);
+        m.clear(0, secs(16));
+        assert!(m.overdue(secs(17)).is_empty() || m.overdue(secs(17)) == vec![1]);
+    }
+
+    #[test]
+    fn cleared_soc_is_monitored_again() {
+        let mut m = HeartbeatMonitor::new(1, SimDuration::from_secs(2));
+        m.confirm(0);
+        assert!(m.overdue(secs(100)).is_empty());
+        m.clear(0, secs(100));
+        assert_eq!(m.overdue(secs(103)), vec![0]);
+    }
+
+    fn harness() -> (SocCluster, FailureAwareRouting, ClusterFabric) {
+        let mut cluster = SocCluster::new(ClusterConfig::default());
+        cluster.refresh_bmc();
+        let fabric = Topology::soc_cluster(60);
+        (cluster, FailureAwareRouting::new(), fabric)
+    }
+
+    #[test]
+    fn classifies_thermal_trip_from_bmc_temperature() {
+        let (mut cluster, routing, fabric) = harness();
+        cluster.bmc.set_temp(7, 105.0);
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 7),
+            DetectedClass::ThermalTrip
+        );
+    }
+
+    #[test]
+    fn classifies_link_loss_from_routing() {
+        let (mut cluster, mut routing, fabric) = harness();
+        for link in access_links(&fabric, 9) {
+            routing.fail(link);
+        }
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 9),
+            DetectedClass::LinkLoss
+        );
+    }
+
+    #[test]
+    fn classifies_crash_from_zero_power() {
+        let (mut cluster, routing, fabric) = harness();
+        cluster.socs[4].decommission();
+        cluster.refresh_bmc();
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 4),
+            DetectedClass::Crash
+        );
+    }
+
+    #[test]
+    fn defaults_to_hang_when_probes_look_normal() {
+        let (mut cluster, routing, fabric) = harness();
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 0),
+            DetectedClass::Hang
+        );
+    }
+
+    #[test]
+    fn access_links_cover_both_directions() {
+        let fabric = Topology::soc_cluster(60);
+        let links = access_links(&fabric, 0);
+        assert_eq!(links.len(), 2, "one duplex pair per SoC");
+    }
+
+    #[test]
+    fn expected_class_matches_ground_truth() {
+        assert_eq!(
+            DetectedClass::expected_for(FaultKind::Flash),
+            DetectedClass::Crash
+        );
+        assert_eq!(
+            DetectedClass::expected_for(FaultKind::Memory),
+            DetectedClass::Crash
+        );
+        assert_eq!(
+            DetectedClass::expected_for(FaultKind::SocHang),
+            DetectedClass::Hang
+        );
+        assert!(DetectedClass::Hang.recoverable());
+        assert!(!DetectedClass::Crash.recoverable());
+    }
+}

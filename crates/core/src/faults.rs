@@ -18,14 +18,22 @@ pub enum FaultKind {
     SocHang,
     /// DRAM failure.
     Memory,
+    /// Protective thermal shutdown — the SoC trips offline until it cools.
+    ThermalTrip,
+    /// Loss of the SoC's fabric access link — the SoC runs but is
+    /// unreachable until the link is repaired.
+    LinkLoss,
 }
 
 impl FaultKind {
     /// Whether the SoC can return to service after remediation (a hung SoC
-    /// reboots; dead flash/DRAM means the slot stays dark until the PCB is
-    /// swapped).
+    /// reboots, a tripped SoC cools down, a lost link gets re-seated; dead
+    /// flash/DRAM means the slot stays dark until the PCB is swapped).
     pub fn recoverable(self) -> bool {
-        matches!(self, FaultKind::SocHang)
+        matches!(
+            self,
+            FaultKind::SocHang | FaultKind::ThermalTrip | FaultKind::LinkLoss
+        )
     }
 }
 
@@ -49,6 +57,13 @@ pub struct FaultInjector {
     pub hang_afr: f64,
     /// Annual rate of DRAM failures per SoC.
     pub memory_afr: f64,
+    /// Annual rate of protective thermal shutdowns per SoC. Zero by default:
+    /// the prototype's fan wall keeps SoCs below throttle (§3), so trips
+    /// only appear in what-if sweeps that opt in.
+    pub thermal_afr: f64,
+    /// Annual rate of fabric-link failures per SoC slot. Zero by default
+    /// for the same reason.
+    pub link_afr: f64,
 }
 
 impl Default for FaultInjector {
@@ -57,6 +72,8 @@ impl Default for FaultInjector {
             flash_afr: socc_hw::memory::StorageModel::ufs_256gb().annual_failure_rate,
             hang_afr: 0.10,
             memory_afr: 0.008,
+            thermal_afr: 0.0,
+            link_afr: 0.0,
         }
     }
 }
@@ -67,12 +84,19 @@ impl FaultInjector {
     /// Draws the fault schedule for a fleet of `socs` SoCs over `horizon`,
     /// sorted by time. Each (SoC, mode) pair fails at most once.
     pub fn schedule(&self, socs: usize, horizon: SimDuration, rng: &mut SimRng) -> Vec<FaultEvent> {
+        // Degenerate inputs produce an empty schedule without consuming any
+        // randomness, so a caller's RNG stream is unperturbed.
+        if socs == 0 || horizon.is_zero() {
+            return Vec::new();
+        }
         let mut events = Vec::new();
         for soc in 0..socs {
             for (kind, afr) in [
                 (FaultKind::Flash, self.flash_afr),
                 (FaultKind::SocHang, self.hang_afr),
                 (FaultKind::Memory, self.memory_afr),
+                (FaultKind::ThermalTrip, self.thermal_afr),
+                (FaultKind::LinkLoss, self.link_afr),
             ] {
                 if afr <= 0.0 {
                     continue;
@@ -95,7 +119,8 @@ impl FaultInjector {
     /// Expected number of failed SoCs after `horizon` for a fleet.
     pub fn expected_failures(&self, socs: usize, horizon: SimDuration) -> f64 {
         let years = horizon.as_secs_f64() / SECS_PER_YEAR;
-        let rate = self.flash_afr + self.hang_afr + self.memory_afr;
+        let rate =
+            self.flash_afr + self.hang_afr + self.memory_afr + self.thermal_afr + self.link_afr;
         socs as f64 * (1.0 - (-rate * years).exp())
     }
 }
@@ -147,10 +172,48 @@ mod tests {
     }
 
     #[test]
-    fn only_hangs_recover() {
+    fn recoverability_by_kind() {
         assert!(FaultKind::SocHang.recoverable());
+        assert!(FaultKind::ThermalTrip.recoverable());
+        assert!(FaultKind::LinkLoss.recoverable());
         assert!(!FaultKind::Flash.recoverable());
         assert!(!FaultKind::Memory.recoverable());
+    }
+
+    #[test]
+    fn zero_socs_schedule_is_empty_without_sampling() {
+        let inj = FaultInjector::default();
+        let horizon = SimDuration::from_hours(24 * 365);
+        let mut rng = SimRng::seed(9);
+        assert!(inj.schedule(0, horizon, &mut rng).is_empty());
+        // The RNG stream was not consumed: the next schedule from this RNG
+        // matches one drawn from a fresh RNG with the same seed.
+        let after = inj.schedule(60, horizon, &mut rng);
+        let fresh = inj.schedule(60, horizon, &mut SimRng::seed(9));
+        assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn zero_horizon_schedule_is_empty_without_sampling() {
+        let inj = FaultInjector::default();
+        let mut rng = SimRng::seed(11);
+        assert!(inj.schedule(60, SimDuration::ZERO, &mut rng).is_empty());
+        let after = inj.schedule(60, SimDuration::from_hours(24), &mut rng);
+        let fresh = inj.schedule(60, SimDuration::from_hours(24), &mut SimRng::seed(11));
+        assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn opt_in_kinds_appear_when_rates_set() {
+        let inj = FaultInjector {
+            thermal_afr: 5.0,
+            link_afr: 5.0,
+            ..FaultInjector::default()
+        };
+        let mut rng = SimRng::seed(3);
+        let events = inj.schedule(60, SimDuration::from_hours(24 * 365), &mut rng);
+        assert!(events.iter().any(|e| e.kind == FaultKind::ThermalTrip));
+        assert!(events.iter().any(|e| e.kind == FaultKind::LinkLoss));
     }
 
     #[test]

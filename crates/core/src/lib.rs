@@ -5,8 +5,9 @@
 //! BMC ([`bmc`]), scheduled at SoC granularity ([`scheduler`],
 //! [`orchestrator`]), compared against a traditional Xeon + A40 twin
 //! ([`traditional`]), with virtualization overheads ([`virt`]), fault
-//! modelling ([`faults`]), network-bound analysis ([`capacity`]) and the
-//! figure-level experiment runners ([`experiments`]).
+//! modelling ([`faults`]), failure detection and closed-loop recovery
+//! ([`detector`], [`recovery`]), network-bound analysis ([`capacity`]) and
+//! the figure-level experiment runners ([`experiments`]).
 //!
 //! # Examples
 //!
@@ -28,12 +29,14 @@ pub mod capacity;
 pub mod cluster;
 pub mod collab;
 pub mod colocation;
+pub mod detector;
 pub mod experiments;
 pub mod faults;
 pub mod gaming;
 pub mod orchestrator;
 pub mod planner;
 pub mod priority;
+pub mod recovery;
 pub mod scheduler;
 pub mod soc;
 pub mod telemetry;

@@ -71,6 +71,7 @@ pub struct Orchestrator {
     idle_since: Vec<Option<SimTime>>,
     next_id: u64,
     stats: OrchestratorStats,
+    completions: Vec<WorkloadId>,
 }
 
 impl Orchestrator {
@@ -92,6 +93,7 @@ impl Orchestrator {
             idle_since: vec![Some(SimTime::ZERO); soc_count],
             next_id: 0,
             stats: OrchestratorStats::default(),
+            completions: Vec::new(),
         }
     }
 
@@ -103,6 +105,12 @@ impl Orchestrator {
     /// Immutable view of the cluster.
     pub fn cluster(&self) -> &SocCluster {
         &self.cluster
+    }
+
+    /// Mutable cluster access for in-crate recovery machinery (BMC probes
+    /// need `&mut` because protocol frames run through the command queue).
+    pub(crate) fn cluster_mut(&mut self) -> &mut SocCluster {
+        &mut self.cluster
     }
 
     /// Orchestration statistics so far.
@@ -284,8 +292,16 @@ impl Orchestrator {
             .ok_or(AdmissionError::Unsupported)?;
         self.release(&placed);
         self.stats.completed += 1;
+        self.completions.push(id);
         self.record_power();
         Ok(())
+    }
+
+    /// Drains the ids of workloads that completed (finished explicitly or
+    /// ran to their archive deadline) since the last call, in completion
+    /// order.
+    pub fn take_completions(&mut self) -> Vec<WorkloadId> {
+        std::mem::take(&mut self.completions)
     }
 
     fn release(&mut self, placed: &Placed) {
@@ -364,17 +380,21 @@ impl Orchestrator {
         let start = self.now;
         while let Some(event_time) = self.next_event(t) {
             self.now = event_time;
-            // Archive completions due now.
-            let due: Vec<WorkloadId> = self
+            // Archive completions due now (id-sorted: the backing map does
+            // not iterate deterministically and completion order is
+            // observable through `take_completions`).
+            let mut due: Vec<WorkloadId> = self
                 .workloads
                 .iter()
                 .filter(|(_, p)| p.completes.is_some_and(|c| c <= event_time))
                 .map(|(&id, _)| id)
                 .collect();
+            due.sort();
             for id in due {
                 let placed = self.workloads.remove(&id).expect("due workload exists");
                 self.release(&placed);
                 self.stats.completed += 1;
+                self.completions.push(id);
             }
             // Sleep transitions due now.
             if let Some(after) = self.sleep_after {
@@ -441,6 +461,101 @@ impl Orchestrator {
             }
         }
         self.record_power();
+    }
+
+    /// Takes a SoC out of service *without* migrating its workloads:
+    /// decommissions the slot and returns the stranded workloads (id and
+    /// spec, id-sorted) so a recovery policy can re-place them on its own
+    /// schedule. This is the primitive the fault-tolerance loop builds on —
+    /// unlike [`Self::inject_fault`], nothing is silently dropped here.
+    pub fn fail_soc(&mut self, soc: usize) -> Vec<(WorkloadId, WorkloadSpec)> {
+        if !self.cluster.socs[soc].healthy {
+            return Vec::new();
+        }
+        self.cluster.socs[soc].decommission();
+        self.idle_since[soc] = None;
+        self.cluster
+            .bmc
+            .log(self.now, format!("fault: soc {soc} out of service"));
+        let mut victims: Vec<WorkloadId> = self
+            .workloads
+            .iter()
+            .filter(|(_, p)| p.soc == soc)
+            .map(|(&id, _)| id)
+            .collect();
+        victims.sort();
+        victims
+            .into_iter()
+            .map(|id| {
+                let placed = self.workloads.remove(&id).expect("victim exists");
+                (id, placed.spec)
+            })
+            .collect()
+    }
+
+    /// Returns a previously failed SoC to service (post power-cycle,
+    /// cooldown or link repair). Returns `false` if the SoC was healthy
+    /// already.
+    pub fn restore_soc(&mut self, soc: usize) -> bool {
+        if self.cluster.socs[soc].healthy {
+            return false;
+        }
+        self.cluster.socs[soc].restore();
+        self.idle_since[soc] = Some(self.now);
+        self.cluster
+            .bmc
+            .log(self.now, format!("soc {soc} restored to service"));
+        self.record_power();
+        true
+    }
+
+    /// Sends one wire frame to the BMC and returns its response. Recovery
+    /// tooling uses the same framed protocol an external management agent
+    /// would (§2.2), rather than reaching into simulator state.
+    pub fn bmc_frame(
+        &mut self,
+        frame: &[u8],
+    ) -> Result<crate::bmc::BmcResponse, crate::bmc::BmcProtocolError> {
+        self.cluster.bmc.handle_frame(frame)
+    }
+
+    /// Applies power-state change commands queued at the BMC by
+    /// `SetSocPowerState` frames: `Off` decommissions a healthy SoC (its
+    /// workloads must have been evacuated first), `Idle`/`Active` restore a
+    /// failed one. Returns the number of transitions applied.
+    pub fn apply_bmc_state_changes(&mut self) -> usize {
+        let mut applied = 0;
+        for (soc, state) in self.cluster.bmc.take_state_changes() {
+            match state {
+                PowerState::Off | PowerState::Sleep => {
+                    if self.cluster.socs[soc].healthy {
+                        self.cluster.socs[soc].decommission();
+                        self.idle_since[soc] = None;
+                        self.cluster
+                            .bmc
+                            .log(self.now, format!("bmc: soc {soc} powered off"));
+                        applied += 1;
+                    }
+                }
+                PowerState::Idle | PowerState::Active => {
+                    if self.restore_soc(soc) {
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        if applied > 0 {
+            self.record_power();
+        }
+        applied
+    }
+
+    /// Overrides one SoC's BMC temperature reading (deci-°C granularity at
+    /// the wire). The thermal model overwrites this on the next
+    /// [`Self::advance_to`]; fault injection re-asserts it while a thermal
+    /// trip is active.
+    pub fn set_soc_temp(&mut self, soc: usize, temp_c: f64) {
+        self.cluster.bmc.set_temp(soc, temp_c);
     }
 }
 
@@ -600,6 +715,71 @@ mod tests {
         // At least the idle floor for a minute.
         assert!(e > 100.0 * 60.0, "energy {e}");
         assert!(o.power_series().len() >= 2);
+    }
+
+    #[test]
+    fn fail_soc_returns_stranded_workloads_sorted() {
+        let mut o = orch();
+        let a = o.submit(live_v1()).unwrap();
+        let b = o.submit(live_v1()).unwrap();
+        let victims = o.fail_soc(0);
+        assert_eq!(
+            victims.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert!(!o.cluster().socs[0].healthy);
+        assert_eq!(o.active_workloads(), 0, "victims are handed back, not kept");
+        assert_eq!(o.stats().dropped, 0, "nothing silently dropped");
+        // A second fail on the same SoC is a no-op.
+        assert!(o.fail_soc(0).is_empty());
+    }
+
+    #[test]
+    fn restore_soc_returns_slot_to_service() {
+        let mut o = orch();
+        o.fail_soc(0);
+        assert!(o.restore_soc(0));
+        assert!(!o.restore_soc(0), "already healthy");
+        let id = o.submit(live_v1()).unwrap();
+        assert_eq!(o.placement_of(id), Some(0), "bin-pack reuses slot 0");
+    }
+
+    #[test]
+    fn bmc_frames_drive_power_transitions() {
+        use crate::bmc::{encode_command, BmcCommand, BmcResponse};
+        use socc_hw::power::PowerState;
+        let mut o = orch();
+        let r = o
+            .bmc_frame(&encode_command(BmcCommand::SetSocPowerState(
+                3,
+                PowerState::Off,
+            )))
+            .unwrap();
+        assert_eq!(r, BmcResponse::Ack);
+        assert_eq!(o.apply_bmc_state_changes(), 1);
+        assert!(!o.cluster().socs[3].healthy);
+        o.bmc_frame(&encode_command(BmcCommand::SetSocPowerState(
+            3,
+            PowerState::Idle,
+        )))
+        .unwrap();
+        assert_eq!(o.apply_bmc_state_changes(), 1);
+        assert!(o.cluster().socs[3].healthy);
+    }
+
+    #[test]
+    fn take_completions_reports_finished_ids() {
+        let mut o = orch();
+        let live = o.submit(live_v1()).unwrap();
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        let job = o
+            .submit(WorkloadSpec::ArchiveJob { video, frames: 156 })
+            .unwrap();
+        o.finish(live).unwrap();
+        assert_eq!(o.take_completions(), vec![live]);
+        o.advance_to(SimTime::from_secs(20));
+        assert_eq!(o.take_completions(), vec![job]);
+        assert!(o.take_completions().is_empty());
     }
 
     #[test]

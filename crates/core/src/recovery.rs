@@ -1,0 +1,815 @@
+//! The closed-loop fault-tolerance subsystem: detect → classify → recover.
+//!
+//! §8 argues fault tolerance is "crucial for the success of SoC Cluster"
+//! because mobile silicon was never qualified for 24/7 server duty. This
+//! module closes the loop the paper sketches: ground-truth faults from
+//! [`crate::faults`] silence a SoC; the [`crate::detector`] notices missed
+//! heartbeats within a detection window and classifies the failure through
+//! out-of-band BMC probes; and a policy engine re-places the victim
+//! workloads (retry with exponential backoff and jitter), power-cycles
+//! recoverable hangs over the BMC wire protocol, waits out thermal
+//! cooldowns and link repairs, and — when the cluster genuinely lacks room
+//! — degrades gracefully by shedding the lowest-priority workloads via
+//! preempting admission. Everything is deterministic for a fixed seed.
+
+use std::collections::{BTreeMap, HashMap};
+
+use socc_net::failure::FailureAwareRouting;
+use socc_net::topology::{ClusterFabric, Topology};
+use socc_sim::event::EventQueue;
+use socc_sim::rng::SimRng;
+use socc_sim::time::{SimDuration, SimTime};
+use socc_sim::trace::{Level, Trace};
+
+use crate::bmc::{encode_command, BmcCommand};
+use crate::detector::{access_links, classify, DetectedClass, HeartbeatMonitor};
+use crate::faults::{FaultEvent, FaultKind};
+use crate::orchestrator::{Orchestrator, OrchestratorConfig};
+use crate::priority::{priority_of, PriorityAdmission};
+use crate::telemetry::TelemetrySink;
+use crate::workload::{WorkloadId, WorkloadSpec};
+
+/// Temperature asserted at the BMC while a SoC is thermally tripped.
+const TRIP_TEMP_C: f64 = 105.0;
+
+/// Tuning knobs of the recovery loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Node-agent heartbeat (and detector sweep) period.
+    pub heartbeat_interval: SimDuration,
+    /// A SoC whose last heartbeat is older than this is declared failed.
+    pub detection_window: SimDuration,
+    /// Re-placement retries after the initial attempt, before shedding.
+    pub max_retries: u32,
+    /// First retry delay; doubles each further retry.
+    pub backoff_base: SimDuration,
+    /// Fractional jitter applied to each backoff delay (`0.2` = ±20%).
+    pub backoff_jitter: f64,
+    /// BMC power-cycle turnaround for a hung SoC.
+    pub power_cycle_time: SimDuration,
+    /// Cool-down before a thermally tripped SoC rejoins.
+    pub thermal_cooldown: SimDuration,
+    /// Time for a technician/auto-retrain to bring a failed link back.
+    pub link_repair_time: SimDuration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: SimDuration::from_secs(1),
+            detection_window: SimDuration::from_secs(3),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_jitter: 0.2,
+            power_cycle_time: SimDuration::from_secs(10),
+            thermal_cooldown: SimDuration::from_secs(60),
+            link_repair_time: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// Terminal (or current) disposition of a workload in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFate {
+    /// Placed and serving.
+    Running,
+    /// Ran to completion.
+    Completed,
+    /// Deliberately evicted by admission control to make room for
+    /// higher-priority work.
+    Shed,
+    /// Went down with a fault and was never successfully re-placed.
+    Lost,
+}
+
+/// Ledger entry for one submitted workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FateRecord {
+    /// Current disposition.
+    pub fate: WorkloadFate,
+    /// Accumulated time the workload was not serving.
+    pub downtime: SimDuration,
+    /// Number of successful post-fault re-placements.
+    pub migrations: u32,
+    out_since: Option<SimTime>,
+}
+
+impl FateRecord {
+    fn new() -> Self {
+        Self {
+            fate: WorkloadFate::Running,
+            downtime: SimDuration::ZERO,
+            migrations: 0,
+            out_since: None,
+        }
+    }
+}
+
+enum Action {
+    Fault(FaultEvent),
+    Sweep,
+    Retry {
+        original: WorkloadId,
+        spec: WorkloadSpec,
+        fault_at: SimTime,
+        attempt: u32,
+    },
+    PowerCycleDone(usize),
+    CooldownDone(usize),
+    LinkRepaired(usize),
+}
+
+/// The fault-tolerant orchestration loop.
+///
+/// Owns an [`Orchestrator`] plus the detection and remediation machinery
+/// around it. Drive it by submitting workloads, then calling
+/// [`RecoveryEngine::run`] with a fault schedule and a horizon.
+pub struct RecoveryEngine {
+    orch: Orchestrator,
+    config: RecoveryConfig,
+    monitor: HeartbeatMonitor,
+    fabric: ClusterFabric,
+    routing: FailureAwareRouting,
+    queue: EventQueue<Action>,
+    rng: SimRng,
+    telemetry: TelemetrySink,
+    trace: Trace,
+    fates: BTreeMap<WorkloadId, FateRecord>,
+    /// Maps the orchestrator's *current* id of a workload to the original
+    /// id it was submitted under (migrations re-submit under fresh ids).
+    alias: HashMap<WorkloadId, WorkloadId>,
+    /// Workloads stranded by an instant-death fault, held until detection.
+    pending: Vec<Vec<(WorkloadId, WorkloadSpec)>>,
+    /// Ground truth: SoC stopped heartbeating.
+    silent: Vec<bool>,
+    /// SoCs whose BMC temperature must be re-asserted after thermal steps.
+    tripped: Vec<bool>,
+    /// Ground-truth fault time per SoC, while it is down.
+    down_at: Vec<Option<SimTime>>,
+    horizon: Option<SimTime>,
+}
+
+impl RecoveryEngine {
+    /// Builds an engine over a fresh orchestrator. `seed` fixes the backoff
+    /// jitter stream, so equal seeds give bit-identical runs.
+    pub fn new(orch_config: OrchestratorConfig, config: RecoveryConfig, seed: u64) -> Self {
+        let orch = Orchestrator::new(orch_config);
+        let socs = orch.cluster().soc_count();
+        Self {
+            monitor: HeartbeatMonitor::new(socs, config.detection_window),
+            fabric: Topology::soc_cluster(socs),
+            routing: FailureAwareRouting::new(),
+            queue: EventQueue::new(),
+            rng: SimRng::seed(seed).split("recovery-jitter"),
+            telemetry: TelemetrySink::new(),
+            trace: Trace::new(8192, Level::Debug),
+            fates: BTreeMap::new(),
+            alias: HashMap::new(),
+            pending: vec![Vec::new(); socs],
+            silent: vec![false; socs],
+            tripped: vec![false; socs],
+            down_at: vec![None; socs],
+            horizon: None,
+            orch,
+            config,
+        }
+    }
+
+    /// Submits a workload through the engine so its fate is tracked.
+    pub fn submit(&mut self, spec: WorkloadSpec) -> Result<WorkloadId, crate::AdmissionError> {
+        let id = self.orch.submit(spec)?;
+        self.fates.insert(id, FateRecord::new());
+        self.alias.insert(id, id);
+        Ok(id)
+    }
+
+    /// The wrapped orchestrator.
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// Telemetry sink holding the loop's counters and the MTTR histogram.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// The trace of detection/recovery events.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The workload ledger, keyed by original submission id.
+    pub fn fates(&self) -> &BTreeMap<WorkloadId, FateRecord> {
+        &self.fates
+    }
+
+    /// Fraction of offered workload-time actually served over the run:
+    /// `1 - Σ downtime / (workloads × horizon)`. Only meaningful after
+    /// [`RecoveryEngine::run`].
+    pub fn availability(&self) -> f64 {
+        let Some(horizon) = self.horizon else {
+            return 1.0;
+        };
+        let n = self.fates.len();
+        if n == 0 || horizon.as_secs_f64() <= 0.0 {
+            return 1.0;
+        }
+        let down: f64 = self.fates.values().map(|r| r.downtime.as_secs_f64()).sum();
+        (1.0 - down / (n as f64 * horizon.as_secs_f64())).max(0.0)
+    }
+
+    /// Runs the loop: injects `faults` at their scheduled times, sweeps
+    /// heartbeats every `heartbeat_interval`, recovers as designed, and
+    /// stops at `horizon` (pending retries past the horizon lapse; their
+    /// workloads are accounted as lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than once.
+    pub fn run(&mut self, faults: &[FaultEvent], horizon: SimTime) {
+        assert!(self.horizon.is_none(), "RecoveryEngine::run is single-shot");
+        for e in faults {
+            self.queue.schedule(e.at, Action::Fault(*e));
+        }
+        let first_sweep = SimTime::ZERO + self.config.heartbeat_interval;
+        if first_sweep <= horizon {
+            self.queue.schedule(first_sweep, Action::Sweep);
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, action) = self.queue.pop().expect("peeked event exists");
+            self.advance(t);
+            match action {
+                Action::Fault(e) => self.on_fault(e, t),
+                Action::Sweep => self.on_sweep(t, horizon),
+                Action::Retry {
+                    original,
+                    spec,
+                    fault_at,
+                    attempt,
+                } => self.try_place(original, spec, fault_at, attempt, t),
+                Action::PowerCycleDone(soc) => self.on_power_cycle_done(soc, t),
+                Action::CooldownDone(soc) => self.on_cooldown_done(soc, t),
+                Action::LinkRepaired(soc) => self.on_link_repaired(soc, t),
+            }
+        }
+        self.advance(horizon);
+        self.finalize(horizon);
+    }
+
+    /// Advances the orchestrator, re-asserts trip temperatures the thermal
+    /// model overwrote, and folds completions into the ledger.
+    fn advance(&mut self, t: SimTime) {
+        self.orch.advance_to(t);
+        for soc in 0..self.tripped.len() {
+            if self.tripped[soc] {
+                self.orch.set_soc_temp(soc, TRIP_TEMP_C);
+            }
+        }
+        for id in self.orch.take_completions() {
+            if let Some(orig) = self.alias.remove(&id) {
+                if let Some(rec) = self.fates.get_mut(&orig) {
+                    if rec.fate == WorkloadFate::Running {
+                        rec.fate = WorkloadFate::Completed;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fault(&mut self, e: FaultEvent, now: SimTime) {
+        self.telemetry.add("ft.faults_injected", 1);
+        let soc = e.soc;
+        if self.silent[soc] || !self.orch.cluster().socs[soc].healthy {
+            self.trace.record(
+                now,
+                Level::Debug,
+                "fault",
+                format!("soc {soc} already down; {:?} ignored", e.kind),
+            );
+            return;
+        }
+        self.silent[soc] = true;
+        self.down_at[soc] = Some(now);
+        self.trace.record(
+            now,
+            Level::Error,
+            "fault",
+            format!("soc {soc}: {:?} struck", e.kind),
+        );
+        match e.kind {
+            FaultKind::Flash | FaultKind::Memory => {
+                // Hard death: the SoC powers off instantly; its workloads
+                // are stranded until the detector notices the silence.
+                let victims = self.orch.fail_soc(soc);
+                self.strand(soc, victims, now);
+            }
+            FaultKind::ThermalTrip => {
+                // Protective shutdown: same instant power-off, but the BMC
+                // temperature sensor betrays the cause.
+                let victims = self.orch.fail_soc(soc);
+                self.strand(soc, victims, now);
+                self.tripped[soc] = true;
+                self.orch.set_soc_temp(soc, TRIP_TEMP_C);
+            }
+            FaultKind::SocHang => {
+                // The SoC keeps drawing power but serves nothing.
+            }
+            FaultKind::LinkLoss => {
+                // The SoC runs on, unreachable.
+                for link in access_links(&self.fabric, soc) {
+                    self.routing.fail(link);
+                }
+            }
+        }
+    }
+
+    /// Resolves victim ids to original ids and parks them until detection.
+    fn strand(&mut self, soc: usize, victims: Vec<(WorkloadId, WorkloadSpec)>, now: SimTime) {
+        let mut parked = Vec::with_capacity(victims.len());
+        for (cur, spec) in victims {
+            let orig = self.alias.remove(&cur).unwrap_or(cur);
+            if let Some(rec) = self.fates.get_mut(&orig) {
+                rec.out_since = Some(now);
+            }
+            parked.push((orig, spec));
+        }
+        self.pending[soc] = parked;
+    }
+
+    fn on_sweep(&mut self, now: SimTime, horizon: SimTime) {
+        for soc in 0..self.silent.len() {
+            if !self.silent[soc] && self.orch.cluster().socs[soc].healthy {
+                self.monitor.beat(soc, now);
+            }
+        }
+        for soc in self.monitor.overdue(now) {
+            self.monitor.confirm(soc);
+            self.detect(soc, now);
+        }
+        let next = now + self.config.heartbeat_interval;
+        if next <= horizon {
+            self.queue.schedule(next, Action::Sweep);
+        }
+    }
+
+    fn detect(&mut self, soc: usize, now: SimTime) {
+        // Classify BEFORE taking the SoC out of service: a hung SoC is
+        // distinguishable from a crashed one only while it still draws
+        // power.
+        let class = classify(self.orch.cluster_mut(), &self.routing, &self.fabric, soc);
+        let fault_at = self.down_at[soc].unwrap_or(now);
+        self.telemetry.add("ft.faults_detected", 1);
+        self.telemetry
+            .add(&format!("ft.detected.{}", class.label()), 1);
+        self.telemetry
+            .observe("ft.detection_ms", now.since(fault_at).as_millis_f64());
+        self.trace.record(
+            now,
+            Level::Warn,
+            "detector",
+            format!(
+                "soc {soc} silent for >{}; classified {}",
+                self.monitor.window(),
+                class.label()
+            ),
+        );
+        // Take over whatever was stranded at fault time (crash/trip) or is
+        // still nominally placed (hang/link loss).
+        let mut victims = std::mem::take(&mut self.pending[soc]);
+        if victims.is_empty() {
+            let fresh = self.orch.fail_soc(soc);
+            for (cur, spec) in fresh {
+                let orig = self.alias.remove(&cur).unwrap_or(cur);
+                if let Some(rec) = self.fates.get_mut(&orig) {
+                    rec.out_since = Some(fault_at);
+                }
+                victims.push((orig, spec));
+            }
+        }
+        // Schedule remediation for recoverable classes.
+        match class {
+            DetectedClass::Crash => {}
+            DetectedClass::Hang => {
+                // Power-cycle over the BMC wire protocol, like a real
+                // management agent would.
+                let off = encode_command(BmcCommand::SetSocPowerState(
+                    soc as u8,
+                    socc_hw::power::PowerState::Off,
+                ));
+                let _ = self.orch.bmc_frame(&off);
+                self.orch.apply_bmc_state_changes();
+                self.telemetry.add("ft.power_cycles", 1);
+                self.trace.record(
+                    now,
+                    Level::Info,
+                    "recovery",
+                    format!("soc {soc}: power cycle issued"),
+                );
+                self.queue.schedule(
+                    now + self.config.power_cycle_time,
+                    Action::PowerCycleDone(soc),
+                );
+            }
+            DetectedClass::ThermalTrip => {
+                self.telemetry.add("ft.cooldowns", 1);
+                self.queue.schedule(
+                    now + self.config.thermal_cooldown,
+                    Action::CooldownDone(soc),
+                );
+            }
+            DetectedClass::LinkLoss => {
+                self.telemetry.add("ft.link_repairs", 1);
+                self.queue.schedule(
+                    now + self.config.link_repair_time,
+                    Action::LinkRepaired(soc),
+                );
+            }
+        }
+        // Re-place victims, most important first; ties in id order.
+        victims.sort_by(|a, b| {
+            priority_of(&b.1)
+                .cmp(&priority_of(&a.1))
+                .then(a.0.cmp(&b.0))
+        });
+        for (orig, spec) in victims {
+            self.try_place(orig, spec, fault_at, 1, now);
+        }
+    }
+
+    fn backoff(&mut self, attempt: u32) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let base = self.config.backoff_base * 2f64.powi(doublings as i32);
+        let jitter = 1.0 + self.config.backoff_jitter * (2.0 * self.rng.uniform(0.0, 1.0) - 1.0);
+        base * jitter.max(0.0)
+    }
+
+    /// One placement attempt for a fault-displaced workload. `attempt`
+    /// counts from 1 (the immediate post-detection try).
+    fn try_place(
+        &mut self,
+        original: WorkloadId,
+        spec: WorkloadSpec,
+        fault_at: SimTime,
+        attempt: u32,
+        now: SimTime,
+    ) {
+        if attempt > 1 {
+            self.telemetry.add("ft.retries", 1);
+        }
+        match self.orch.submit(spec.clone()) {
+            Ok(new_id) => self.settle(original, new_id, fault_at, now),
+            Err(_) if attempt <= self.config.max_retries => {
+                let delay = self.backoff(attempt);
+                self.trace.record(
+                    now,
+                    Level::Debug,
+                    "recovery",
+                    format!(
+                        "workload {}: no room (attempt {attempt}), retrying in {delay}",
+                        original.0
+                    ),
+                );
+                self.queue.schedule(
+                    now + delay,
+                    Action::Retry {
+                        original,
+                        spec,
+                        fault_at,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            Err(_) => {
+                // Retry budget exhausted: degrade gracefully by shedding
+                // strictly-lower-priority work, or declare the loss.
+                match self.orch.submit_with_preemption(spec.clone()) {
+                    Ok(adm) => {
+                        for victim in adm.evicted {
+                            let orig = self.alias.remove(&victim).unwrap_or(victim);
+                            if let Some(rec) = self.fates.get_mut(&orig) {
+                                rec.fate = WorkloadFate::Shed;
+                                rec.out_since = Some(now);
+                            }
+                            self.telemetry.add("ft.workloads_shed", 1);
+                            self.trace.record(
+                                now,
+                                Level::Warn,
+                                "recovery",
+                                format!("workload {} shed to make room", orig.0),
+                            );
+                        }
+                        self.settle(original, adm.id, fault_at, now);
+                    }
+                    Err(_) => {
+                        if let Some(rec) = self.fates.get_mut(&original) {
+                            rec.fate = WorkloadFate::Lost;
+                            rec.out_since = rec.out_since.or(Some(fault_at));
+                        }
+                        self.telemetry.add("ft.workloads_lost", 1);
+                        self.trace.record(
+                            now,
+                            Level::Error,
+                            "recovery",
+                            format!("workload {} lost: nowhere to place it", original.0),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Books a successful re-placement: downtime, MTTR, migration count.
+    fn settle(
+        &mut self,
+        original: WorkloadId,
+        new_id: WorkloadId,
+        fault_at: SimTime,
+        now: SimTime,
+    ) {
+        self.alias.insert(new_id, original);
+        let outage = now.since(fault_at);
+        if let Some(rec) = self.fates.get_mut(&original) {
+            rec.downtime += outage;
+            rec.out_since = None;
+            rec.migrations += 1;
+        }
+        self.telemetry.add("ft.migrations", 1);
+        self.telemetry.observe("ft.mttr_ms", outage.as_millis_f64());
+        self.trace.record(
+            now,
+            Level::Info,
+            "recovery",
+            format!(
+                "workload {} re-placed after {outage} (soc {:?})",
+                original.0,
+                self.orch.placement_of(new_id)
+            ),
+        );
+    }
+
+    fn on_power_cycle_done(&mut self, soc: usize, now: SimTime) {
+        // Bring the SoC back through the same BMC wire protocol.
+        let on = encode_command(BmcCommand::SetSocPowerState(
+            soc as u8,
+            socc_hw::power::PowerState::Idle,
+        ));
+        let _ = self.orch.bmc_frame(&on);
+        self.orch.apply_bmc_state_changes();
+        self.return_to_service(soc, now, "power cycle complete");
+    }
+
+    fn on_cooldown_done(&mut self, soc: usize, now: SimTime) {
+        self.tripped[soc] = false;
+        self.orch.set_soc_temp(soc, 40.0);
+        self.orch.restore_soc(soc);
+        self.return_to_service(soc, now, "cooled down");
+    }
+
+    fn on_link_repaired(&mut self, soc: usize, now: SimTime) {
+        for link in access_links(&self.fabric, soc) {
+            self.routing.repair(link);
+        }
+        self.orch.restore_soc(soc);
+        self.return_to_service(soc, now, "link repaired");
+    }
+
+    fn return_to_service(&mut self, soc: usize, now: SimTime, why: &str) {
+        self.silent[soc] = false;
+        self.down_at[soc] = None;
+        self.monitor.clear(soc, now);
+        self.telemetry.add("ft.socs_restored", 1);
+        self.trace.record(
+            now,
+            Level::Info,
+            "recovery",
+            format!("soc {soc} back in service: {why}"),
+        );
+    }
+
+    /// Closes the books at the horizon: anything still out of service eats
+    /// downtime to the end, and workloads caught mid-retry are lost.
+    fn finalize(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+        for rec in self.fates.values_mut() {
+            if let Some(since) = rec.out_since.take() {
+                rec.downtime += horizon.saturating_since(since);
+                if rec.fate == WorkloadFate::Running {
+                    rec.fate = WorkloadFate::Lost;
+                    self.telemetry.add("ft.workloads_lost", 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::OrchestratorConfig;
+
+    fn live_v1() -> WorkloadSpec {
+        WorkloadSpec::LiveStreamCpu {
+            video: socc_video::vbench::by_id("V1").unwrap(),
+        }
+    }
+
+    fn engine(seed: u64) -> RecoveryEngine {
+        RecoveryEngine::new(
+            OrchestratorConfig::default(),
+            RecoveryConfig::default(),
+            seed,
+        )
+    }
+
+    fn fault(at_secs: u64, soc: usize, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_secs(at_secs),
+            soc,
+            kind,
+        }
+    }
+
+    #[test]
+    fn crash_is_detected_and_workloads_migrate() {
+        let mut eng = engine(1);
+        let a = eng.submit(live_v1()).unwrap();
+        let b = eng.submit(live_v1()).unwrap();
+        eng.run(&[fault(10, 0, FaultKind::Flash)], SimTime::from_secs(60));
+        assert_eq!(eng.telemetry().counter("ft.faults_detected"), 1);
+        assert_eq!(eng.telemetry().counter("ft.detected.crash"), 1);
+        assert_eq!(eng.telemetry().counter("ft.migrations"), 2);
+        for id in [a, b] {
+            let rec = eng.fates()[&id];
+            assert_eq!(rec.fate, WorkloadFate::Running);
+            assert_eq!(rec.migrations, 1);
+            assert!(rec.downtime > SimDuration::ZERO);
+        }
+        // Crash is permanent: the slot stays dark.
+        assert!(!eng.orchestrator().cluster().socs[0].healthy);
+        assert!(eng.availability() < 1.0);
+    }
+
+    #[test]
+    fn hang_is_power_cycled_and_soc_returns() {
+        let mut eng = engine(2);
+        eng.submit(live_v1()).unwrap();
+        eng.run(&[fault(10, 0, FaultKind::SocHang)], SimTime::from_secs(120));
+        assert_eq!(eng.telemetry().counter("ft.detected.hang"), 1);
+        assert_eq!(eng.telemetry().counter("ft.power_cycles"), 1);
+        assert_eq!(eng.telemetry().counter("ft.socs_restored"), 1);
+        assert!(eng.orchestrator().cluster().socs[0].healthy);
+    }
+
+    #[test]
+    fn thermal_trip_cools_down_and_returns() {
+        let mut eng = engine(3);
+        eng.submit(live_v1()).unwrap();
+        eng.run(
+            &[fault(10, 0, FaultKind::ThermalTrip)],
+            SimTime::from_secs(300),
+        );
+        assert_eq!(eng.telemetry().counter("ft.detected.thermal_trip"), 1);
+        assert_eq!(eng.telemetry().counter("ft.cooldowns"), 1);
+        assert!(eng.orchestrator().cluster().socs[0].healthy);
+    }
+
+    #[test]
+    fn link_loss_is_classified_and_repaired() {
+        let mut eng = engine(4);
+        eng.submit(live_v1()).unwrap();
+        eng.run(
+            &[fault(10, 0, FaultKind::LinkLoss)],
+            SimTime::from_secs(300),
+        );
+        assert_eq!(eng.telemetry().counter("ft.detected.link_loss"), 1);
+        assert_eq!(eng.telemetry().counter("ft.link_repairs"), 1);
+        assert!(eng.orchestrator().cluster().socs[0].healthy);
+        assert!(eng.routing.failed().is_empty());
+    }
+
+    #[test]
+    fn detection_latency_bounded_by_window_plus_interval() {
+        let mut eng = engine(5);
+        eng.submit(live_v1()).unwrap();
+        eng.run(&[fault(10, 0, FaultKind::Flash)], SimTime::from_secs(60));
+        let budget_ms =
+            (eng.config.detection_window + eng.config.heartbeat_interval * 2u32).as_millis_f64();
+        let seen = eng.telemetry().histogram_quantile("ft.detection_ms", 1.0);
+        assert!(
+            seen.is_some_and(|ms| ms <= budget_ms),
+            "{seen:?} vs {budget_ms}"
+        );
+    }
+
+    #[test]
+    fn full_cluster_sheds_lowest_priority_work() {
+        let mut eng = engine(6);
+        // Fill every SoC with one never-ending archive job, then add live
+        // streams on SoC 0's capacity… the cluster has no slack at all.
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        let mut batch = Vec::new();
+        while let Ok(id) = eng.submit(WorkloadSpec::ArchiveJob {
+            video: video.clone(),
+            frames: 100_000_000,
+        }) {
+            batch.push(id);
+        }
+        assert_eq!(batch.len(), 60);
+        // Kill a SoC: its archive job must displace… nothing (batch never
+        // preempts batch) → it is lost, not shed.
+        eng.run(&[fault(10, 0, FaultKind::Flash)], SimTime::from_secs(120));
+        assert_eq!(eng.telemetry().counter("ft.workloads_lost"), 1);
+        assert_eq!(eng.telemetry().counter("ft.workloads_shed"), 0);
+        let lost = eng
+            .fates()
+            .values()
+            .filter(|r| r.fate == WorkloadFate::Lost)
+            .count();
+        assert_eq!(lost, 1);
+    }
+
+    #[test]
+    fn interactive_work_preempts_batch_when_cornered() {
+        let mut eng = engine(7);
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        // Fill the whole cluster with batch, then swap one SoC's job for a
+        // live stream so the fault victim is interactive.
+        let mut ids = Vec::new();
+        while let Ok(id) = eng.submit(WorkloadSpec::ArchiveJob {
+            video: video.clone(),
+            frames: 100_000_000,
+        }) {
+            ids.push(id);
+        }
+        eng.orch.finish(ids[0]).unwrap();
+        let live = eng.submit(live_v1()).unwrap();
+        assert_eq!(eng.orchestrator().placement_of(live), Some(0));
+        eng.run(&[fault(10, 0, FaultKind::Flash)], SimTime::from_secs(120));
+        // The live stream migrated by shedding one batch job elsewhere.
+        let rec = eng.fates()[&live];
+        assert_eq!(rec.fate, WorkloadFate::Running);
+        assert!(eng.telemetry().counter("ft.workloads_shed") >= 1);
+        assert!(eng.telemetry().counter("ft.retries") >= 1);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let run = || {
+            let mut eng = engine(42);
+            for _ in 0..30 {
+                eng.submit(live_v1()).unwrap();
+            }
+            let faults = vec![
+                fault(5, 0, FaultKind::Flash),
+                fault(9, 1, FaultKind::SocHang),
+                fault(14, 2, FaultKind::ThermalTrip),
+                fault(21, 3, FaultKind::LinkLoss),
+            ];
+            eng.run(&faults, SimTime::from_secs(400));
+            (eng.telemetry().render(), eng.availability())
+        };
+        let (ra, aa) = run();
+        let (rb, ab) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(aa, ab);
+        assert!(!ra.is_empty());
+    }
+
+    #[test]
+    fn second_fault_on_downed_soc_is_ignored() {
+        let mut eng = engine(8);
+        eng.submit(live_v1()).unwrap();
+        eng.run(
+            &[
+                fault(10, 0, FaultKind::Flash),
+                fault(20, 0, FaultKind::SocHang),
+            ],
+            SimTime::from_secs(60),
+        );
+        assert_eq!(eng.telemetry().counter("ft.faults_injected"), 2);
+        assert_eq!(eng.telemetry().counter("ft.faults_detected"), 1);
+    }
+
+    #[test]
+    fn completions_and_fates_stay_consistent() {
+        let mut eng = engine(9);
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        // A short archive job that finishes before the fault.
+        let short = eng
+            .submit(WorkloadSpec::ArchiveJob {
+                video: video.clone(),
+                frames: 156,
+            })
+            .unwrap();
+        let live = eng.submit(live_v1()).unwrap();
+        eng.run(&[fault(30, 0, FaultKind::Flash)], SimTime::from_secs(90));
+        assert_eq!(eng.fates()[&short].fate, WorkloadFate::Completed);
+        assert_eq!(eng.fates()[&live].fate, WorkloadFate::Running);
+        // No workload is both completed and lost — fates are single-valued
+        // by construction, and the completed one has zero downtime.
+        assert_eq!(eng.fates()[&short].downtime, SimDuration::ZERO);
+    }
+}

@@ -159,6 +159,18 @@ impl SocUnit {
         self.state = PowerState::Off;
     }
 
+    /// Returns a decommissioned SoC to service after remediation (power
+    /// cycle, thermal cooldown, link repair): healthy again, idle, empty.
+    pub fn restore(&mut self) {
+        self.used = Demand {
+            mem_gb: self.deployment.memory_overhead_pp() / 100.0 * 12.0,
+            ..Demand::default()
+        };
+        self.active_workloads = 0;
+        self.healthy = true;
+        self.state = PowerState::Idle;
+    }
+
     /// Returns `true` when no workload is placed here.
     pub fn is_idle(&self) -> bool {
         self.active_workloads == 0
@@ -262,6 +274,20 @@ mod tests {
         soc.healthy = false;
         assert!(!soc.fits(&cpu_demand(1.0)));
         assert!(!soc.is_available());
+    }
+
+    #[test]
+    fn restore_reverses_decommission() {
+        let mut soc = SocUnit::new(0, DeploymentMode::Physical);
+        soc.place(&cpu_demand(1000.0));
+        soc.decommission();
+        assert!(!soc.is_available());
+        assert_eq!(soc.state, PowerState::Off);
+        soc.restore();
+        assert!(soc.is_available());
+        assert_eq!(soc.state, PowerState::Idle);
+        assert!(soc.is_idle());
+        assert!(soc.fits(&cpu_demand(1000.0)));
     }
 
     #[test]

@@ -58,6 +58,55 @@ impl TelemetrySink {
             .collect()
     }
 
+    /// Records one observation into a histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner.lock().histogram(name).record(value);
+    }
+
+    /// Reads a histogram quantile (`None` if the histogram is absent or
+    /// empty).
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner
+            .lock()
+            .histogram_ref(name)
+            .and_then(|h| h.quantile(q))
+    }
+
+    /// Number of observations recorded into a histogram.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .histogram_ref(name)
+            .map_or(0, |h| h.count())
+    }
+
+    /// Mean of a histogram's observations (zero when absent or empty).
+    pub fn histogram_mean(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .histogram_ref(name)
+            .map_or(0.0, |h| h.mean())
+    }
+
+    /// Renders the whole sink — counters, gauges, histograms, name-ordered —
+    /// as one string. Two runs with identical metric activity produce
+    /// byte-identical output, which is what the determinism tests compare.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let reg = self.inner.lock();
+        let mut out = String::new();
+        for (name, v) in reg.counters() {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        for (name, v) in reg.gauges() {
+            let _ = writeln!(out, "gauge {name} = {v:.6}");
+        }
+        for (name, h) in reg.histograms() {
+            let _ = writeln!(out, "histogram {name}: {h}");
+        }
+        out
+    }
+
     /// Folds an orchestrator's lifetime stats into the sink under a prefix.
     pub fn absorb(&self, prefix: &str, orch: &Orchestrator) {
         let stats = orch.stats();
@@ -107,6 +156,27 @@ mod tests {
         sink.absorb("run", &orch);
         assert_eq!(sink.counter("run.admitted"), 3);
         assert!(sink.gauge("run.peak_power_w") > 100.0);
+    }
+
+    #[test]
+    fn histograms_record_and_render_deterministically() {
+        let build = || {
+            let sink = TelemetrySink::new();
+            sink.add("ft.migrations", 4);
+            sink.gauge_max("peak_w", 432.1);
+            for v in [10.0, 55.0, 120.0] {
+                sink.observe("ft.mttr_ms", v);
+            }
+            sink
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.histogram_count("ft.mttr_ms"), 3);
+        assert!((a.histogram_mean("ft.mttr_ms") - (185.0 / 3.0)).abs() < 1e-9);
+        assert!(a.histogram_quantile("ft.mttr_ms", 0.5).is_some());
+        assert_eq!(a.histogram_quantile("absent", 0.5), None);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("counter ft.migrations = 4"));
     }
 
     #[test]

@@ -189,6 +189,7 @@ impl fmt::Display for LogHistogram {
 pub struct MetricRegistry {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, LogHistogram>,
 }
 
 impl MetricRegistry {
@@ -205,6 +206,24 @@ impl MetricRegistry {
     /// Returns the gauge registered under `name`, creating it on first use.
     pub fn gauge(&mut self, name: &str) -> &mut Gauge {
         self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// Returns the histogram registered under `name`, creating a
+    /// latency-shaped one ([`LogHistogram::for_latency_ms`]) on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut LogHistogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(LogHistogram::for_latency_ms)
+    }
+
+    /// Reads a histogram, if one has been registered under `name`.
+    pub fn histogram_ref(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates all `(name, histogram)` pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Reads a counter value (zero if absent).
@@ -303,5 +322,17 @@ mod tests {
         assert_eq!(r.counter_value("absent"), 0);
         assert_eq!(r.counters().count(), 1);
         assert_eq!(r.gauges().count(), 1);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let mut r = MetricRegistry::new();
+        r.histogram("mttr_ms").record(12.0);
+        r.histogram("mttr_ms").record(24.0);
+        let h = r.histogram_ref("mttr_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 18.0).abs() < 1e-9);
+        assert!(r.histogram_ref("absent").is_none());
+        assert_eq!(r.histograms().count(), 1);
     }
 }

@@ -1,0 +1,64 @@
+//! Golden-file snapshot tests for the repro artifacts whose output is a
+//! pure function of fixed seeds. A drift in any cell — a model tweak, an
+//! RNG reordering, a formatting change — fails the diff here before it can
+//! silently invalidate EXPERIMENTS.md.
+//!
+//! To re-bless after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p integration-tests --test golden`
+
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{id}.txt"))
+}
+
+fn check(id: &str) {
+    let actual = socc_bench::repro::run(id).unwrap_or_else(|| panic!("unknown artifact {id}"));
+    let path = golden_path(id);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        actual == expected,
+        "{id} drifted from {}.\nRe-run with UPDATE_GOLDEN=1 if the change is intentional.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn fig1_matches_golden() {
+    check("fig1");
+}
+
+#[test]
+fn tab4_matches_golden() {
+    check("tab4");
+}
+
+#[test]
+fn tab5_matches_golden() {
+    check("tab5");
+}
+
+#[test]
+fn golden_outputs_are_reproducible_within_process() {
+    // The snapshot premise: two in-process evaluations are byte-identical.
+    for id in ["fig1", "tab4", "tab5"] {
+        assert_eq!(
+            socc_bench::repro::run(id),
+            socc_bench::repro::run(id),
+            "{id} not deterministic"
+        );
+    }
+}

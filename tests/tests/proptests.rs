@@ -409,3 +409,140 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The fault-tolerant orchestration loop: randomized fault storms against the
+// closed detect → migrate → recover cycle.
+// ---------------------------------------------------------------------------
+
+use socc_cluster::faults::{FaultEvent, FaultKind};
+use socc_cluster::orchestrator::OrchestratorConfig;
+use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine, WorkloadFate};
+use socc_cluster::workload::WorkloadSpec;
+use socc_sim::time::SimDuration;
+
+fn fault_kind(tag: u8) -> FaultKind {
+    match tag % 5 {
+        0 => FaultKind::Flash,
+        1 => FaultKind::SocHang,
+        2 => FaultKind::Memory,
+        3 => FaultKind::ThermalTrip,
+        _ => FaultKind::LinkLoss,
+    }
+}
+
+/// Builds an engine, loads it with `n_batch` whole-SoC archive jobs and
+/// `n_live` live streams, runs the given fault storm, and hands it back.
+fn storm(
+    seed: u64,
+    window_s: u64,
+    n_live: usize,
+    n_batch: usize,
+    faults: &[(u64, usize, u8)],
+) -> RecoveryEngine {
+    let config = RecoveryConfig {
+        detection_window: SimDuration::from_secs(window_s),
+        ..RecoveryConfig::default()
+    };
+    let mut eng = RecoveryEngine::new(OrchestratorConfig::default(), config, seed);
+    let video = socc_video::vbench::by_id("V1").expect("vbench V1");
+    for _ in 0..n_batch {
+        eng.submit(WorkloadSpec::ArchiveJob {
+            video: video.clone(),
+            frames: 100_000_000,
+        })
+        .expect("archive capacity");
+    }
+    for _ in 0..n_live {
+        eng.submit(WorkloadSpec::LiveStreamCpu {
+            video: video.clone(),
+        })
+        .expect("live capacity");
+    }
+    let schedule: Vec<FaultEvent> = faults
+        .iter()
+        .map(|&(at, soc, tag)| FaultEvent {
+            at: SimTime::from_secs(at),
+            soc: soc % 60,
+            kind: fault_kind(tag),
+        })
+        .collect();
+    eng.run(&schedule, SimTime::from_secs(600));
+    eng
+}
+
+proptest! {
+    /// Ledger/telemetry consistency under arbitrary fault storms: every
+    /// submitted workload ends in exactly one terminal-or-running fate (in
+    /// particular none is both completed and lost), the running count
+    /// matches the orchestrator, and the shed/lost/migration counters agree
+    /// with the ledger.
+    #[test]
+    fn recovery_ledger_is_consistent(
+        seed in 0u64..1_000,
+        window_s in 1u64..8,
+        n_live in 1usize..59,
+        n_batch in 0usize..20,
+        faults in prop::collection::vec((1u64..500, 0usize..60, 0u8..5), 0..12)
+    ) {
+        let eng = storm(seed, window_s, n_live, n_batch, &faults);
+        let mut counts = [0usize; 4];
+        for rec in eng.fates().values() {
+            let idx = match rec.fate {
+                WorkloadFate::Running => 0,
+                WorkloadFate::Completed => 1,
+                WorkloadFate::Shed => 2,
+                WorkloadFate::Lost => 3,
+            };
+            counts[idx] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), n_live + n_batch);
+        prop_assert_eq!(counts[0], eng.orchestrator().active_workloads());
+        let tele = eng.telemetry();
+        prop_assert_eq!(tele.counter("ft.workloads_shed"), counts[2] as u64);
+        prop_assert_eq!(tele.counter("ft.workloads_lost"), counts[3] as u64);
+        let migrations: u32 = eng.fates().values().map(|r| r.migrations).sum();
+        prop_assert_eq!(tele.counter("ft.migrations"), u64::from(migrations));
+        prop_assert!(tele.counter("ft.faults_detected") <= tele.counter("ft.faults_injected"));
+        let avail = eng.availability();
+        prop_assert!((0.0..=1.0).contains(&avail), "availability {} out of range", avail);
+    }
+
+    /// Capacity accounting never goes negative or oversubscribed on any SoC,
+    /// no matter how the storm interleaves failures, migrations, power
+    /// cycles, and restores.
+    #[test]
+    fn recovery_capacity_never_negative(
+        seed in 0u64..1_000,
+        n_live in 1usize..59,
+        faults in prop::collection::vec((1u64..500, 0usize..60, 0u8..5), 0..12)
+    ) {
+        let eng = storm(seed, 3, n_live, 5, &faults);
+        for soc in &eng.orchestrator().cluster().socs {
+            let used = soc.used();
+            prop_assert!(used.cpu_pu >= 0.0 && used.mem_gb >= 0.0 && used.net_mbps >= 0.0);
+            prop_assert!(
+                used.cpu_pu <= soc.spec.cpu.transcode_capacity() + 1e-6,
+                "soc {} cpu oversubscribed: {}",
+                soc.index,
+                used.cpu_pu
+            );
+            prop_assert!(used.mem_gb <= soc.spec.memory.capacity_gb + 1e-6);
+        }
+    }
+
+    /// Determinism: the same seed and storm produce byte-identical telemetry
+    /// and the same availability, bit for bit.
+    #[test]
+    fn recovery_same_seed_is_byte_identical(
+        seed in 0u64..1_000,
+        n_live in 1usize..40,
+        faults in prop::collection::vec((1u64..500, 0usize..60, 0u8..5), 0..8)
+    ) {
+        let a = storm(seed, 3, n_live, 3, &faults);
+        let b = storm(seed, 3, n_live, 3, &faults);
+        prop_assert_eq!(a.telemetry().render(), b.telemetry().render());
+        prop_assert!(a.availability() == b.availability(), "availability drifted");
+        prop_assert_eq!(a.fates().len(), b.fates().len());
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline drop-in for the subset of `criterion` this workspace's benches
+//! use. It keeps the API shape (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) but implements a simple
+//! best-of-N wall-clock timer instead of criterion's statistical engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (overridable via the
+/// `CRITERION_SHIM_ITERS` environment variable).
+fn iters() -> u32 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of a few runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..iters() {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            if self.best.is_none_or(|b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+fn run_bench(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { best: None };
+    f(&mut b);
+    match b.best {
+        Some(d) => println!("bench {label:<48} {d:>12.3?}"),
+        None => println!("bench {label:<48} (no iterations)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted for API parity; the
+    /// shim always runs a fixed small number of iterations).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(name, f);
+        self
+    }
+}
+
+/// Declares a group function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Deterministic case generation for the proptest shim.
+
+/// Marker returned by `prop_assume!` when a case is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Fails a property whose assumption rejected every generated case — that
+/// almost always means the `prop_assume!` filter is unsatisfiable.
+pub fn check_rejection_rate(name: &str, rejected: u32, cases: u32) {
+    assert!(
+        !(cases > 0 && rejected == cases),
+        "property {name}: all {cases} cases rejected by prop_assume!"
+    );
+}
+
+/// A deterministic PRNG (SplitMix64) seeded from the test name and case
+/// index, so every run of the binary replays identical cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one (test, case) pair.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = Self {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        // Warm up so similar names/cases decorrelate.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // 128-bit widening multiply keeps bias negligible for test sizes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_cases_diverge() {
+        let a = TestRng::for_case("x", 0).next_u64();
+        let b = TestRng::for_case("x", 1).next_u64();
+        let c = TestRng::for_case("y", 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = TestRng::for_case("below", 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all 5 cases rejected")]
+    fn full_rejection_panics() {
+        check_rejection_rate("t", 5, 5);
+    }
+}

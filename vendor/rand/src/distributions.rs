@@ -1,0 +1,182 @@
+//! Distributions: the `Distribution` trait, the `Standard` distribution and
+//! uniform range sampling.
+
+use crate::RngCore;
+
+/// Types that produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the full domain for
+/// integers, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+
+    /// Types that can be drawn uniformly from a half-open `[lo, hi)` range.
+    pub trait SampleUniform: Sized {
+        /// Draws uniformly from `[lo, hi)`.
+        fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    // Unbiased via 128-bit widening multiply (Lemire).
+                    let mut m = (rng.next_u64() as u128).wrapping_mul(span);
+                    let mut low = m as u64;
+                    if (low as u128) < span {
+                        let threshold = (u64::MAX as u128 + 1 - span) % span;
+                        while (low as u128) < threshold {
+                            m = (rng.next_u64() as u128).wrapping_mul(span);
+                            low = m as u64;
+                        }
+                    }
+                    let offset = (m >> 64) as i128;
+                    (lo as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let unit: f64 = Standard.sample(rng);
+                    lo + (hi - lo) * unit as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f32, f64);
+
+    /// Range-like arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(rng, self.start, self.end)
+        }
+    }
+
+    impl SampleRange<u64> for core::ops::RangeInclusive<u64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+            let (lo, hi) = self.into_inner();
+            if hi == u64::MAX {
+                return rng.next_u64().max(lo);
+            }
+            u64::sample_between(rng, lo, hi + 1)
+        }
+    }
+
+    impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+            let (lo, hi) = self.into_inner();
+            usize::sample_between(rng, lo, hi + 1)
+        }
+    }
+}
+
+/// Uniform distribution over a fixed range, usable via `Rng::sample`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Self { lo, hi }
+    }
+}
+
+impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn int_sampling_is_unbiased_enough() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let n = 60_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[u64::sample_between(&mut r, 0, 3) as usize] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.01, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn uniform_struct_samples_in_range() {
+        let mut r = SmallRng::seed_from_u64(8);
+        let d = Uniform::new(-4.0f64, 9.0);
+        for _ in 0..1_000 {
+            let v = d.sample(&mut r);
+            assert!((-4.0..9.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ with SplitMix64
+/// seeding, matching the construction `rand` 0.8 uses for `SmallRng` on
+/// 64-bit targets.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // xoshiro forbids the all-zero state; SplitMix64 cannot produce
+        // four zero words from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for state seeded from SplitMix64(0) must be stable
+        // across refactors: pin the current sequence.
+        let mut r = SmallRng::seed_from_u64(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        let mut r2 = SmallRng::seed_from_u64(0);
+        assert_eq!(a, r2.next_u64());
+        assert_eq!(b, r2.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline drop-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
+//! nothing actually serializes through serde (reports render their own
+//! tables). This shim provides the two marker traits and re-exports no-op
+//! derive macros so those derives compile without registry access.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` shim: the workspace uses
+//! the derives as documentation/metadata only, so they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: no code in this workspace serializes via serde.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: no code in this workspace deserializes via serde.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
