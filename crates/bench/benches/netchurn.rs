@@ -1,0 +1,34 @@
+//! Criterion wrapper around the network-churn perf harness: incremental
+//! vs forced-full allocation under the same seeded op mix. The JSON
+//! artifact comes from `bench --perf`; this bench exists for quick local
+//! A/B timing (`cargo bench -p socc-bench --bench netchurn`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socc_bench::perf::{churn, PerfOptions};
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/churn-200-flows");
+    for (label, force_full) in [("incremental", false), ("full", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &force_full,
+            |b, &force_full| {
+                b.iter(|| {
+                    std::hint::black_box(churn(
+                        &PerfOptions {
+                            flows: 200,
+                            churn_events: 200,
+                            seed: 42,
+                            force_full,
+                        },
+                        &|| 0,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

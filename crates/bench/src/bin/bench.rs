@@ -1,0 +1,207 @@
+//! Perf-harness entry point.
+//!
+//! `bench --perf` runs the deterministic network-churn microbenchmark
+//! twice — incremental allocator vs forced full recomputation — under a
+//! counting global allocator, and writes the comparison as
+//! `BENCH_net.json`:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --perf \
+//!     --flows 2000 --events 1000 --out BENCH_net.json
+//! ```
+//!
+//! `--check BASELINE.json` additionally compares against a committed
+//! baseline and exits non-zero if events/sec regressed by more than 30%,
+//! if the incremental path stopped being ≥5× cheaper in waterfilling
+//! work, or if the hot path allocated during the measured phase.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use socc_bench::perf::{churn, comparison_json, PerfOptions};
+
+/// Counts every heap allocation; the perf harness samples it around the
+/// measured phase to prove the hot path is allocation-free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter increment, which cannot violate the allocator contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+struct Args {
+    perf: bool,
+    flows: usize,
+    events: usize,
+    seed: u64,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        perf: false,
+        flows: 2000,
+        events: 1000,
+        seed: 42,
+        out: None,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--perf" => args.perf = true,
+            "--flows" => {
+                args.flows = value("--flows")?
+                    .parse()
+                    .map_err(|e| format!("--flows: {e}"))?
+            }
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Pulls `"key": <number>` out of the JSON `section` object of `doc`.
+/// Good enough for the harness's own output format; the workspace carries
+/// no JSON parser by design.
+fn extract(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let start = doc.find(&format!("\"{section}\""))?;
+    let tail = &doc[start..];
+    let kpos = tail.find(&format!("\"{key}\""))?;
+    let after = &tail[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_perf(args: &Args) -> Result<(), String> {
+    let incremental = churn(
+        &PerfOptions {
+            flows: args.flows,
+            churn_events: args.events,
+            seed: args.seed,
+            force_full: false,
+        },
+        &alloc_count,
+    );
+    let full = churn(
+        &PerfOptions {
+            flows: args.flows,
+            churn_events: args.events,
+            seed: args.seed,
+            force_full: true,
+        },
+        &alloc_count,
+    );
+    let doc = comparison_json(&incremental, &full);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let base_eps = extract(&baseline, "incremental", "events_per_sec")
+            .ok_or("baseline missing incremental events_per_sec")?;
+        let ratio = extract(&doc, "net_churn", "waterfill_touch_ratio")
+            .ok_or("run missing waterfill_touch_ratio")?;
+
+        let mut failures = Vec::new();
+        if incremental.events_per_sec < 0.7 * base_eps {
+            failures.push(format!(
+                "events/sec regressed >30%: {:.0} vs baseline {:.0}",
+                incremental.events_per_sec, base_eps
+            ));
+        }
+        if ratio < 5.0 {
+            failures.push(format!(
+                "incremental waterfilling no longer ≥5× cheaper (ratio {ratio:.2})"
+            ));
+        }
+        if incremental.steady_state_allocs != 0 {
+            failures.push(format!(
+                "hot path allocated {} times during the measured phase",
+                incremental.steady_state_allocs
+            ));
+        }
+        if incremental.final_drift_bps > 1.0 {
+            failures.push(format!(
+                "incremental allocation drifted {} bps from the reference",
+                incremental.final_drift_bps
+            ));
+        }
+        if !failures.is_empty() {
+            return Err(failures.join("; "));
+        }
+        eprintln!(
+            "perf check ok: {:.0} events/sec (baseline {:.0}), {ratio:.1}x waterfill ratio, 0 hot-path allocs",
+            incremental.events_per_sec, base_eps
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.perf {
+        eprintln!("usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]");
+        return ExitCode::FAILURE;
+    }
+    match run_perf(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

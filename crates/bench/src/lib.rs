@@ -8,5 +8,6 @@
 #![forbid(unsafe_code)]
 
 pub mod extensions;
+pub mod perf;
 pub mod repro;
 pub mod sweep;

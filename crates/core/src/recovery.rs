@@ -155,10 +155,15 @@ impl RecoveryEngine {
     pub fn new(orch_config: OrchestratorConfig, config: RecoveryConfig, seed: u64) -> Self {
         let orch = Orchestrator::new(orch_config);
         let socs = orch.cluster().soc_count();
+        let fabric = Topology::soc_cluster(socs);
+        let mut routing = FailureAwareRouting::new();
+        // Cache the fabric adjacency once; fault classification routes on
+        // every suspected failure and would otherwise rebuild it per call.
+        routing.attach(&fabric.topology);
         Self {
             monitor: HeartbeatMonitor::new(socs, config.detection_window),
-            fabric: Topology::soc_cluster(socs),
-            routing: FailureAwareRouting::new(),
+            fabric,
+            routing,
             queue: EventQueue::new(),
             rng: SimRng::seed(seed).split("recovery-jitter"),
             telemetry: TelemetrySink::new(),

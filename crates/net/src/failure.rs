@@ -13,12 +13,42 @@ use crate::topology::{LinkId, NodeId, Topology};
 #[derive(Debug, Clone, Default)]
 pub struct FailureAwareRouting {
     failed: HashSet<LinkId>,
+    /// Adjacency cached by [`attach`](Self::attach): outgoing
+    /// `(neighbor, link)` pairs per node, in link-id order (the same order
+    /// the uncached path visits neighbors in). Failed links stay in the
+    /// cache and are filtered during traversal, so fail/repair never
+    /// invalidates it.
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    /// Link count of the attached topology; guards against using the
+    /// cache with a topology it was not built from.
+    cached_links: usize,
 }
 
 impl FailureAwareRouting {
     /// Creates routing state with no failures.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds the adjacency cache for `topo`, so subsequent
+    /// [`route`](Self::route) calls on the same topology skip the
+    /// per-call adjacency rebuild. Attaching a different topology
+    /// replaces the cache.
+    pub fn attach(&mut self, topo: &Topology) {
+        self.adjacency.clear();
+        self.adjacency.resize(topo.node_count(), Vec::new());
+        for i in 0..topo.link_count() as u32 {
+            let id = LinkId(i);
+            let l = topo.link(id);
+            self.adjacency[l.src.0 as usize].push((l.dst, id));
+        }
+        self.cached_links = topo.link_count();
+    }
+
+    fn cache_matches(&self, topo: &Topology) -> bool {
+        !self.adjacency.is_empty()
+            && self.adjacency.len() == topo.node_count()
+            && self.cached_links == topo.link_count()
     }
 
     /// Marks a link failed. Returns `true` if it was previously healthy.
@@ -42,39 +72,51 @@ impl FailureAwareRouting {
     }
 
     /// BFS route avoiding failed links, or `None` if disconnected.
+    ///
+    /// With an [`attach`](Self::attach)ed topology the cached adjacency is
+    /// used (failed links filtered during traversal — same visit order as
+    /// the rebuild path, so routes are identical); otherwise adjacency is
+    /// rebuilt from the link table per call.
     pub fn route(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
         if src == dst {
             return Some(Vec::new());
         }
-        // Rebuild adjacency lazily from the link table, skipping failures.
-        let mut adjacency: HashMap<NodeId, Vec<(NodeId, LinkId)>> = HashMap::new();
-        for i in 0..topo.link_count() as u32 {
-            let id = LinkId(i);
-            if self.usable(id) {
+        let rebuilt;
+        let adjacency: &[Vec<(NodeId, LinkId)>] = if self.cache_matches(topo) {
+            &self.adjacency
+        } else {
+            // Rebuild adjacency lazily from the link table. Per-node
+            // neighbor order is link-id order, matching the cache.
+            let mut a = vec![Vec::new(); topo.node_count()];
+            for i in 0..topo.link_count() as u32 {
+                let id = LinkId(i);
                 let l = topo.link(id);
-                adjacency.entry(l.src).or_default().push((l.dst, id));
+                a[l.src.0 as usize].push((l.dst, id));
             }
-        }
+            rebuilt = a;
+            &rebuilt
+        };
         let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
         let mut queue = VecDeque::from([src]);
         while let Some(n) = queue.pop_front() {
-            if let Some(neighbors) = adjacency.get(&n) {
-                for &(next, link) in neighbors {
-                    if next != src && !prev.contains_key(&next) {
-                        prev.insert(next, (n, link));
-                        if next == dst {
-                            let mut path = Vec::new();
-                            let mut cur = dst;
-                            while cur != src {
-                                let (p, l) = prev[&cur];
-                                path.push(l);
-                                cur = p;
-                            }
-                            path.reverse();
-                            return Some(path);
+            for &(next, link) in &adjacency[n.0 as usize] {
+                if !self.usable(link) {
+                    continue;
+                }
+                if next != src && !prev.contains_key(&next) {
+                    prev.insert(next, (n, link));
+                    if next == dst {
+                        let mut path = Vec::new();
+                        let mut cur = dst;
+                        while cur != src {
+                            let (p, l) = prev[&cur];
+                            path.push(l);
+                            cur = p;
                         }
-                        queue.push_back(next);
+                        path.reverse();
+                        return Some(path);
                     }
+                    queue.push_back(next);
                 }
             }
         }

@@ -10,6 +10,21 @@
 //! Rates are recomputed with max-min fairness whenever membership changes,
 //! and transfers drain at their allocated goodput between events — the
 //! standard fluid flow-level model.
+//!
+//! # Hot-path design
+//!
+//! Allocation state lives in a persistent
+//! [`FairnessState`](crate::fairness::FairnessState): routes are interned
+//! once (and additionally cached per `(src, dst)` pair, so repeat flows
+//! skip BFS entirely), per-link state is dense, and a flow arriving or
+//! leaving triggers an *incremental* waterfill update instead of a
+//! from-scratch recompute. Transfers completing at the same instant are
+//! removed as one batch with a single reallocation. All buffers on the
+//! event path ([`advance_into`](FlowNet::advance_into),
+//! [`add_stream`](FlowNet::add_stream), …) are reused, so steady-state
+//! simulation performs zero heap allocations per event once caches have
+//! warmed up. Only link failure/repair falls back to BFS rerouting and a
+//! full recompute.
 
 use std::collections::HashMap;
 
@@ -17,7 +32,7 @@ use socc_sim::time::{SimDuration, SimTime};
 use socc_sim::units::{DataRate, DataSize};
 
 use crate::failure::FailureAwareRouting;
-use crate::fairness::{max_min_fair, FlowDemand};
+use crate::fairness::{max_min_fair, FairnessState, FairnessStats, FlowDemand, FlowKey, RouteId};
 use crate::tcp::TcpModel;
 use crate::topology::{LinkId, NodeId, Topology};
 
@@ -60,14 +75,13 @@ impl std::error::Error for NetError {}
 struct StreamState {
     src: NodeId,
     dst: NodeId,
-    route: Vec<LinkId>,
     demand: DataRate,
-    allocated: DataRate,
+    flow: FlowKey,
 }
 
 #[derive(Debug, Clone)]
 struct TransferState {
-    route: Vec<LinkId>,
+    flow: FlowKey,
     remaining: f64, // bits
     startup_left: SimDuration,
     rate: DataRate, // current goodput
@@ -76,7 +90,6 @@ struct TransferState {
 /// A fluid flow-level network simulator.
 pub struct FlowNet {
     topology: Topology,
-    capacity: HashMap<LinkId, DataRate>,
     tcp: TcpModel,
     now: SimTime,
     streams: HashMap<StreamId, StreamState>,
@@ -85,17 +98,27 @@ pub struct FlowNet {
     stream_order: Vec<StreamId>,
     transfer_order: Vec<TransferId>,
     routing: FailureAwareRouting,
+    fairness: FairnessState,
+    /// `(src, dst)` → interned route, invalidated on fail/repair. `None`
+    /// caches unreachability so repeated misses stay cheap too.
+    route_cache: HashMap<(u32, u32), Option<RouteId>>,
+    /// Offered load per link in bits/s, maintained at reallocation time
+    /// and when a transfer finishes its startup ramp.
+    load: Vec<f64>,
+    scratch_done: Vec<TransferId>,
 }
 
 impl FlowNet {
     /// Creates a simulator over a topology with the given TCP model.
     pub fn new(topology: Topology, tcp: TcpModel) -> Self {
-        let capacity = (0..topology.link_count() as u32)
-            .map(|i| (LinkId(i), topology.link(LinkId(i)).capacity))
+        let capacity: Vec<f64> = (0..topology.link_count() as u32)
+            .map(|i| topology.link(LinkId(i)).capacity.as_bps())
             .collect();
+        let mut routing = FailureAwareRouting::new();
+        routing.attach(&topology);
+        let link_count = capacity.len();
         Self {
             topology,
-            capacity,
             tcp,
             now: SimTime::ZERO,
             streams: HashMap::new(),
@@ -103,7 +126,11 @@ impl FlowNet {
             next_id: 0,
             stream_order: Vec::new(),
             transfer_order: Vec::new(),
-            routing: FailureAwareRouting::new(),
+            routing,
+            fairness: FairnessState::new(capacity),
+            route_cache: HashMap::new(),
+            load: vec![0.0; link_count],
+            scratch_done: Vec::new(),
         }
     }
 
@@ -117,10 +144,36 @@ impl FlowNet {
         &self.topology
     }
 
+    /// Forces every reallocation onto the full from-scratch waterfill
+    /// (A/B benchmarking and differential testing; incremental is the
+    /// default).
+    pub fn set_force_full_recompute(&mut self, on: bool) {
+        self.fairness.set_force_full(on);
+    }
+
+    /// Cumulative waterfilling work counters of the underlying allocator.
+    pub fn fairness_stats(&self) -> FairnessStats {
+        self.fairness.stats()
+    }
+
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         id
+    }
+
+    /// Route between two nodes as an interned id, via the `(src, dst)`
+    /// cache. BFS runs only on a cache miss.
+    fn cached_route(&mut self, src: NodeId, dst: NodeId) -> Option<RouteId> {
+        if let Some(&hit) = self.route_cache.get(&(src.0, dst.0)) {
+            return hit;
+        }
+        let route = self
+            .routing
+            .route(&self.topology, src, dst)
+            .map(|links| self.fairness.intern_route(&links));
+        self.route_cache.insert((src.0, dst.0), route);
+        route
     }
 
     /// Attaches a fixed-demand stream between two nodes.
@@ -131,30 +184,30 @@ impl FlowNet {
         demand: DataRate,
     ) -> Result<StreamId, NetError> {
         let route = self
-            .routing
-            .route(&self.topology, src, dst)
+            .cached_route(src, dst)
             .ok_or(NetError::Unreachable { src, dst })?;
         let id = StreamId(self.fresh_id());
+        let flow = self.fairness.add_flow(route, Some(demand.as_bps()));
         self.streams.insert(
             id,
             StreamState {
                 src,
                 dst,
-                route,
                 demand,
-                allocated: DataRate::ZERO,
+                flow,
             },
         );
         self.stream_order.push(id);
-        self.reallocate();
+        self.after_reallocation();
         Ok(id)
     }
 
     /// Detaches a stream.
     pub fn remove_stream(&mut self, id: StreamId) -> Result<(), NetError> {
-        self.streams.remove(&id).ok_or(NetError::UnknownId)?;
+        let state = self.streams.remove(&id).ok_or(NetError::UnknownId)?;
         self.stream_order.retain(|&s| s != id);
-        self.reallocate();
+        self.fairness.remove_flow(state.flow);
+        self.after_reallocation();
         Ok(())
     }
 
@@ -162,7 +215,7 @@ impl FlowNet {
     pub fn stream_rate(&self, id: StreamId) -> Result<DataRate, NetError> {
         self.streams
             .get(&id)
-            .map(|s| s.allocated)
+            .map(|s| DataRate::bps(self.fairness.rate_bps(s.flow)))
             .ok_or(NetError::UnknownId)
     }
 
@@ -174,21 +227,21 @@ impl FlowNet {
         size: DataSize,
     ) -> Result<TransferId, NetError> {
         let route = self
-            .routing
-            .route(&self.topology, src, dst)
+            .cached_route(src, dst)
             .ok_or(NetError::Unreachable { src, dst })?;
         let id = TransferId(self.fresh_id());
+        let flow = self.fairness.add_flow(route, None);
         self.transfers.insert(
             id,
             TransferState {
-                route,
+                flow,
                 remaining: size.as_bits(),
                 startup_left: self.tcp.startup_delay(size),
                 rate: DataRate::ZERO,
             },
         );
         self.transfer_order.push(id);
-        self.reallocate();
+        self.after_reallocation();
         Ok(id)
     }
 
@@ -202,34 +255,28 @@ impl FlowNet {
         self.streams.len()
     }
 
-    /// Recomputes the max-min fair allocation for all flows.
-    fn reallocate(&mut self) {
-        let mut demands = Vec::with_capacity(self.streams.len() + self.transfers.len());
-        for id in &self.stream_order {
-            let s = &self.streams[id];
-            demands.push(FlowDemand {
-                route: s.route.clone(),
-                demand: Some(s.demand),
-            });
+    /// Syncs FlowNet-side caches after any allocation update: transfer
+    /// goodputs and the per-link offered-load cache. Allocation-free.
+    fn after_reallocation(&mut self) {
+        for t in self.transfers.values_mut() {
+            t.rate = self
+                .tcp
+                .goodput(DataRate::bps(self.fairness.rate_bps(t.flow)));
         }
-        for id in &self.transfer_order {
-            let t = &self.transfers[id];
-            demands.push(FlowDemand {
-                route: t.route.clone(),
-                demand: None,
-            });
+        self.load.iter_mut().for_each(|v| *v = 0.0);
+        for s in self.streams.values() {
+            let rate = self.fairness.rate_bps(s.flow);
+            for &l in self.fairness.flow_links(s.flow) {
+                self.load[l as usize] += rate;
+            }
         }
-        let rates = max_min_fair(&demands, &self.capacity);
-        let (stream_rates, transfer_rates) = rates.split_at(self.stream_order.len());
-        for (id, rate) in self.stream_order.iter().zip(stream_rates) {
-            self.streams
-                .get_mut(id)
-                .expect("ordered id exists")
-                .allocated = *rate;
-        }
-        for (id, rate) in self.transfer_order.iter().zip(transfer_rates) {
-            let t = self.transfers.get_mut(id).expect("ordered id exists");
-            t.rate = self.tcp.goodput(*rate);
+        for t in self.transfers.values() {
+            if t.startup_left.is_zero() {
+                let rate = t.rate.as_bps();
+                for &l in self.fairness.flow_links(t.flow) {
+                    self.load[l as usize] += rate;
+                }
+            }
         }
     }
 
@@ -238,27 +285,48 @@ impl FlowNet {
     pub fn next_completion(&self) -> Option<SimTime> {
         self.transfers
             .values()
-            .map(|t| {
-                let drain = if t.rate.as_bps() > 0.0 {
-                    SimDuration::from_secs_f64(t.remaining / t.rate.as_bps())
-                } else {
-                    SimDuration::MAX
-                };
-                self.now + t.startup_left + drain
+            .filter_map(|t| {
+                let bps = t.rate.as_bps();
+                if bps <= 0.0 {
+                    // Cannot complete until a reallocation raises its rate.
+                    return None;
+                }
+                let mut drain = SimDuration::from_secs_f64(t.remaining / bps);
+                if drain.is_zero() && t.remaining > 1e-6 {
+                    // Sub-nanosecond residue would stall the clock (the
+                    // completion instant rounds back to `now` without the
+                    // transfer crossing the done threshold); round up so
+                    // time always advances.
+                    drain = SimDuration::from_nanos(1);
+                }
+                Some(self.now + t.startup_left + drain)
             })
             .min()
     }
 
     /// Advances the clock to `t`, draining transfers at their current
     /// rates. Returns the ids of transfers that completed, in completion
-    /// order. Rates are recomputed after each completion.
+    /// order. All transfers finishing at the same instant are removed as
+    /// one batch with a single reallocation.
     ///
     /// # Panics
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<TransferId> {
-        assert!(t >= self.now, "cannot advance backwards");
         let mut completed = Vec::new();
+        self.advance_into(t, &mut completed);
+        completed
+    }
+
+    /// Allocation-free variant of [`advance_to`](Self::advance_to):
+    /// completed transfer ids are appended to `completed` (which is *not*
+    /// cleared), so a caller-owned buffer can be reused across events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_into(&mut self, t: SimTime, completed: &mut Vec<TransferId>) {
+        assert!(t >= self.now, "cannot advance backwards");
         while let Some(next) = self.next_completion() {
             if next > t {
                 break;
@@ -267,39 +335,47 @@ impl FlowNet {
             self.drain(step);
             self.now = next;
             // Collect every transfer that is now done (ties complete together).
-            let mut done: Vec<TransferId> = self
-                .transfers
-                .iter()
-                .filter(|(_, tr)| tr.remaining <= 1e-6 && tr.startup_left.is_zero())
-                .map(|(&id, _)| id)
-                .collect();
-            done.sort();
-            for id in &done {
-                self.transfers.remove(id);
-                self.transfer_order.retain(|&x| x != *id);
+            let mut done = std::mem::take(&mut self.scratch_done);
+            done.clear();
+            done.extend(
+                self.transfers
+                    .iter()
+                    .filter(|(_, tr)| tr.remaining <= 1e-6 && tr.startup_left.is_zero())
+                    .map(|(&id, _)| id),
+            );
+            done.sort_unstable();
+            if !done.is_empty() {
+                self.fairness.begin_removals();
+                for id in &done {
+                    let state = self.transfers.remove(id).expect("collected id exists");
+                    self.fairness.defer_remove(state.flow);
+                }
+                self.transfer_order.retain(|x| !done.contains(x));
+                self.fairness.commit_removals();
+                completed.extend_from_slice(&done);
             }
-            completed.extend(done);
-            self.reallocate();
+            self.scratch_done = done;
+            self.after_reallocation();
         }
         let step = t.saturating_since(self.now);
         if !step.is_zero() {
             self.drain(step);
             self.now = t;
         }
-        completed
     }
 
     /// Runs until every transfer completes, returning `(finish_time, ids)`.
     pub fn run_to_idle(&mut self) -> (SimTime, Vec<TransferId>) {
         let mut completed = Vec::new();
         while let Some(next) = self.next_completion() {
-            completed.extend(self.advance_to(next));
+            self.advance_into(next, &mut completed);
         }
         (self.now, completed)
     }
 
     fn drain(&mut self, dt: SimDuration) {
         for t in self.transfers.values_mut() {
+            let had_startup = !t.startup_left.is_zero();
             let after_startup = if t.startup_left >= dt {
                 t.startup_left -= dt;
                 SimDuration::ZERO
@@ -309,79 +385,86 @@ impl FlowNet {
                 left
             };
             t.remaining = (t.remaining - t.rate.as_bps() * after_startup.as_secs_f64()).max(0.0);
+            if had_startup && t.startup_left.is_zero() {
+                // The transfer left its startup ramp mid-interval: it now
+                // offers load, so fold it into the link-load cache.
+                let rate = t.rate.as_bps();
+                for &l in self.fairness.flow_links(t.flow) {
+                    self.load[l as usize] += rate;
+                }
+            }
         }
     }
 
     /// Offered load per link in bits/s, from the current allocation.
+    /// Served from the load cache maintained at reallocation time; only
+    /// links with nonzero load appear. (Reporting API — the returned map
+    /// allocates; use [`link_utilization`](Self::link_utilization) on the
+    /// hot path.)
     pub fn link_load(&self) -> HashMap<LinkId, DataRate> {
-        let mut load: HashMap<LinkId, f64> = HashMap::new();
-        for s in self.streams.values() {
-            for l in &s.route {
-                *load.entry(*l).or_insert(0.0) += s.allocated.as_bps();
-            }
-        }
-        for t in self.transfers.values() {
-            if t.startup_left.is_zero() {
-                for l in &t.route {
-                    *load.entry(*l).or_insert(0.0) += t.rate.as_bps();
-                }
-            }
-        }
-        load.into_iter()
-            .map(|(l, v)| (l, DataRate::bps(v)))
+        self.load
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(l, &v)| (LinkId(l as u32), DataRate::bps(v)))
             .collect()
     }
 
-    /// Utilization of a specific link in `[0, 1]`.
+    /// Utilization of a specific link in `[0, 1]`. Allocation-free: reads
+    /// the cached per-link load.
     pub fn link_utilization(&self, link: LinkId) -> f64 {
-        let cap = self
-            .capacity
-            .get(&link)
-            .map_or(f64::INFINITY, |c| c.as_bps());
+        let cap = self.fairness.capacity_bps(link.0);
         if !cap.is_finite() || cap == 0.0 {
             return 0.0;
         }
-        self.link_load()
-            .get(&link)
-            .map_or(0.0, |l| l.as_bps() / cap)
+        self.load.get(link.0 as usize).map_or(0.0, |l| l / cap)
     }
 
     /// Fails a link: streams crossing it are rerouted around the failure
     /// where possible; the ids of streams left with no path are removed and
     /// returned. In-flight transfers on the link are treated the same way
     /// (rerouted with their remaining bytes, or aborted and returned).
+    /// Falls back to a full fairness recompute (the incremental path only
+    /// covers membership churn).
     pub fn fail_link(&mut self, link: LinkId) -> FailureImpact {
         self.routing.fail(link);
+        self.route_cache.clear();
         let mut lost_streams = Vec::new();
         let mut lost_transfers = Vec::new();
         let stream_ids: Vec<StreamId> = self.stream_order.clone();
         for id in stream_ids {
             let s = self.streams.get(&id).expect("ordered id exists");
-            if s.route.contains(&link) {
-                match self.routing.route(&self.topology, s.src, s.dst) {
-                    Some(route) => {
-                        self.streams.get_mut(&id).expect("exists").route = route;
-                    }
-                    None => {
-                        self.streams.remove(&id);
-                        self.stream_order.retain(|&x| x != id);
-                        lost_streams.push(id);
-                    }
+            if !self.fairness.flow_links(s.flow).contains(&link.0) {
+                continue;
+            }
+            match self.routing.route(&self.topology, s.src, s.dst) {
+                Some(route) => {
+                    let rid = self.fairness.intern_route(&route);
+                    let flow = s.flow;
+                    self.fairness.set_route(flow, rid);
+                }
+                None => {
+                    let state = self.streams.remove(&id).expect("exists");
+                    self.fairness.drop_slot(state.flow);
+                    self.stream_order.retain(|&x| x != id);
+                    lost_streams.push(id);
                 }
             }
         }
         let transfer_ids: Vec<TransferId> = self.transfer_order.clone();
         for id in transfer_ids {
             let t = self.transfers.get(&id).expect("ordered id exists");
-            if t.route.contains(&link) {
+            if t.route_uses(&self.fairness, link) {
                 // Transfers do not remember endpoints; abort them (the
                 // application layer retries through a healthy path).
-                self.transfers.remove(&id);
+                let state = self.transfers.remove(&id).expect("exists");
+                self.fairness.drop_slot(state.flow);
                 self.transfer_order.retain(|&x| x != id);
                 lost_transfers.push(id);
             }
         }
-        self.reallocate();
+        self.fairness.rebuild_full();
+        self.after_reallocation();
         FailureImpact {
             lost_streams,
             lost_transfers,
@@ -392,6 +475,57 @@ impl FlowNet {
     /// their current routes).
     pub fn repair_link(&mut self, link: LinkId) {
         self.routing.repair(link);
+        self.route_cache.clear();
+    }
+
+    /// Maximum absolute difference in bits/s between the maintained
+    /// (incrementally updated) allocation and a from-scratch
+    /// [`max_min_fair`] reference over the current flows. Allocates;
+    /// intended for differential tests and diagnostics.
+    pub fn fairness_drift_vs_reference(&self) -> f64 {
+        let capacity: HashMap<LinkId, DataRate> = (0..self.topology.link_count() as u32)
+            .map(|i| (LinkId(i), DataRate::bps(self.fairness.capacity_bps(i))))
+            .collect();
+        let mut demands = Vec::with_capacity(self.streams.len() + self.transfers.len());
+        let mut rates = Vec::with_capacity(demands.capacity());
+        for id in &self.stream_order {
+            let s = &self.streams[id];
+            demands.push(FlowDemand {
+                route: self
+                    .fairness
+                    .flow_links(s.flow)
+                    .iter()
+                    .map(|&l| LinkId(l))
+                    .collect(),
+                demand: Some(s.demand),
+            });
+            rates.push(self.fairness.rate_bps(s.flow));
+        }
+        for id in &self.transfer_order {
+            let t = &self.transfers[id];
+            demands.push(FlowDemand {
+                route: self
+                    .fairness
+                    .flow_links(t.flow)
+                    .iter()
+                    .map(|&l| LinkId(l))
+                    .collect(),
+                demand: None,
+            });
+            rates.push(self.fairness.rate_bps(t.flow));
+        }
+        let reference = max_min_fair(&demands, &capacity);
+        rates
+            .iter()
+            .zip(&reference)
+            .map(|(r, expected)| (r - expected.as_bps()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl TransferState {
+    fn route_uses(&self, fairness: &FairnessState, link: LinkId) -> bool {
+        fairness.flow_links(self.flow).contains(&link.0)
     }
 }
 
@@ -403,7 +537,6 @@ pub struct FailureImpact {
     /// Transfers aborted by the failure.
     pub lost_transfers: Vec<TransferId>,
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,6 +62,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers currently pending (scheduled, not yet delivered or
+    /// cancelled). `len()` is exactly `live.len()` — no arithmetic on the
+    /// heap/cancelled sizes, which can disagree when a fired event id is
+    /// cancelled.
+    live: std::collections::HashSet<u64>,
     now: SimTime,
 }
 
@@ -78,6 +83,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
+            live: std::collections::HashSet::new(),
             now: SimTime::ZERO,
         }
     }
@@ -104,16 +110,17 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+        self.live.insert(seq);
         EventId(seq)
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. this call actually removed it from future delivery).
+    /// Cancelling an event that already fired (or was already cancelled) is a
+    /// no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 < self.next_seq && !self.cancelled.contains(&id.0) {
-            // Lazy deletion: mark now, skip at pop time. We cannot tell here
-            // whether the event already fired, so over-approximating by
-            // inserting is fine — fired sequence numbers never pop again.
+        if self.live.remove(&id.0) {
+            // Lazy deletion: mark now, skip at pop time.
             self.cancelled.insert(id.0);
             true
         } else {
@@ -127,11 +134,28 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&ev.seq) {
                 continue;
             }
+            self.live.remove(&ev.seq);
             debug_assert!(ev.time >= self.now, "event queue time went backwards");
             self.now = ev.time;
             return Some((ev.time, ev.payload));
         }
         None
+    }
+
+    /// Pops *every* event sharing the earliest pending timestamp into `out`
+    /// (in schedule order), advancing the clock to that timestamp. Returns
+    /// the batch timestamp, or `None` if the queue is empty. `out` is
+    /// cleared first, so a caller-owned buffer can be reused across events
+    /// without allocating.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let (t, first) = self.pop()?;
+        out.push(first);
+        while self.peek_time() == Some(t) {
+            let (_, e) = self.pop().expect("peeked event exists");
+            out.push(e);
+        }
+        Some(t)
     }
 
     /// Returns the timestamp of the earliest pending event without popping it.
@@ -150,12 +174,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live.is_empty()
     }
 }
 
@@ -229,6 +253,43 @@ mod tests {
         q.schedule(SimTime::from_secs(2), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn cancel_after_fire_keeps_len_exact() {
+        // Regression: cancelling an already-fired id used to land in the
+        // cancelled set, making `heap.len() - cancelled.len()` wrap.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(a), "event already fired");
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_groups_same_instant_events() {
+        let mut q = EventQueue::new();
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        q.schedule(t2, 10);
+        q.schedule(t1, 1);
+        let cancelled = q.schedule(t1, 2);
+        q.schedule(t1, 3);
+        q.cancel(cancelled);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), Some(t1));
+        assert_eq!(batch, vec![1, 3]);
+        assert_eq!(q.now(), t1);
+        assert_eq!(q.pop_batch_into(&mut batch), Some(t2));
+        assert_eq!(batch, vec![10], "buffer cleared between batches");
+        assert_eq!(q.pop_batch_into(&mut batch), None);
+        assert!(batch.is_empty());
     }
 
     #[test]

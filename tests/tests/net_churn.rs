@@ -1,0 +1,153 @@
+//! Property tests for the incremental fairness engine: randomized flow
+//! churn must stay indistinguishable from from-scratch `max_min_fair`,
+//! and link fail/repair round-trips must leave the allocation consistent.
+
+use proptest::prelude::*;
+use socc_net::fairness::{FairnessState, FlowKey};
+use socc_net::sim::{FlowNet, StreamId};
+use socc_net::tcp::TcpModel;
+use socc_net::topology::{LinkId, Topology};
+use socc_sim::time::SimDuration;
+use socc_sim::units::{DataRate, DataSize};
+
+/// Tolerance in bits/s: the incremental path may differ from the
+/// reference only by float-summation noise.
+const DRIFT_BPS: f64 = 1.0;
+
+proptest! {
+    /// Interleaved add/remove sequences on the persistent allocator match
+    /// a from-scratch waterfill after every single operation.
+    #[test]
+    fn incremental_matches_reference_under_churn(
+        caps in prop::collection::vec(0.5f64..4.0, 2..8),
+        ops in prop::collection::vec(
+            (
+                0u8..2,                                    // 0 = add, 1 = remove
+                prop::collection::vec(0usize..8, 0..4),    // route (link indices)
+                prop::option::of(1.0f64..500.0),           // demand in mbps, None = elastic
+                0usize..32,                                // removal pick
+            ),
+            1..50
+        )
+    ) {
+        let mut st = FairnessState::new(caps.iter().map(|g| g * 1e9).collect());
+        let mut live: Vec<FlowKey> = Vec::new();
+        for (kind, route, demand_mbps, pick) in ops {
+            if kind == 0 || live.is_empty() {
+                let links: Vec<LinkId> = route
+                    .iter()
+                    .filter(|&&l| l < caps.len())
+                    .map(|&l| LinkId(l as u32))
+                    .collect();
+                let r = st.intern_route(&links);
+                live.push(st.add_flow(r, demand_mbps.map(|m| m * 1e6)));
+            } else {
+                let key = live.swap_remove(pick % live.len());
+                st.remove_flow(key);
+            }
+            let drift = st.drift_vs_reference();
+            prop_assert!(drift < DRIFT_BPS, "drift {drift} bps after churn op");
+        }
+    }
+
+    /// Full simulator churn — stream add/remove, transfer start, and
+    /// completions inside `advance_to` — keeps the maintained allocation
+    /// on the reference after every event.
+    #[test]
+    fn flownet_churn_tracks_reference(
+        ops in prop::collection::vec(
+            (0u8..4, 0usize..20, 0usize..21, 1.0f64..20.0),
+            1..40
+        )
+    ) {
+        let fabric = Topology::soc_cluster(20);
+        let mut net = FlowNet::new(fabric.topology.clone(), TcpModel::inter_soc());
+        let node = |i: usize| if i == 20 { fabric.external } else { fabric.socs[i] };
+        let mut streams: Vec<StreamId> = Vec::new();
+        for (kind, a, b, x) in ops {
+            match kind {
+                0 => {
+                    let id = net
+                        .add_stream(node(a), node(b), DataRate::mbps(x))
+                        .expect("fabric is fully connected");
+                    streams.push(id);
+                }
+                1 if !streams.is_empty() => {
+                    let id = streams.swap_remove(a % streams.len());
+                    net.remove_stream(id).expect("live stream");
+                }
+                2 => {
+                    net.start_transfer(node(a), node(b), DataSize::megabytes(x))
+                        .expect("fabric is fully connected");
+                }
+                _ => {
+                    let step = SimDuration::from_millis((x * 10.0) as u64 + 1);
+                    net.advance_to(net.now() + step);
+                }
+            }
+            let drift = net.fairness_drift_vs_reference();
+            prop_assert!(drift < DRIFT_BPS, "drift {drift} bps after sim event");
+        }
+    }
+
+    /// Failing and repairing a link that no flow crosses is a no-op on
+    /// rates; failing a used link keeps the allocation consistent with the
+    /// reference, as does the repair.
+    #[test]
+    fn fail_repair_roundtrip(
+        demands in prop::collection::vec((0usize..10, 1.0f64..50.0), 1..12),
+        link_pick in 0usize..64,
+    ) {
+        let fabric = Topology::soc_cluster(20);
+        let mut net = FlowNet::new(fabric.topology.clone(), TcpModel::inter_soc());
+        // Keep all traffic on PCBs 0-1 (SoCs 0..10) so PCB 3's uplinks are
+        // guaranteed unused.
+        let ids: Vec<StreamId> = demands
+            .iter()
+            .map(|&(s, mbps)| {
+                net.add_stream(fabric.socs[s], fabric.external, DataRate::mbps(mbps))
+                    .expect("routable")
+            })
+            .collect();
+        let before: Vec<f64> = ids
+            .iter()
+            .map(|&id| net.stream_rate(id).expect("live").as_bps())
+            .collect();
+
+        // An unused link: one of PCB 3's uplink pair.
+        let unused = (0..fabric.topology.link_count() as u32)
+            .map(LinkId)
+            .find(|&l| {
+                let link = fabric.topology.link(l);
+                link.src == fabric.pcbs[3] && link.dst == fabric.esb
+            })
+            .expect("pcb3 uplink exists");
+        let impact = net.fail_link(unused);
+        prop_assert!(impact.lost_streams.is_empty());
+        prop_assert!(impact.lost_transfers.is_empty());
+        for (&id, &b) in ids.iter().zip(&before) {
+            let after = net.stream_rate(id).expect("live").as_bps();
+            prop_assert!(
+                (after - b).abs() < DRIFT_BPS,
+                "unused-link failure moved a rate: {b} -> {after}"
+            );
+        }
+        net.repair_link(unused);
+        prop_assert!(net.fairness_drift_vs_reference() < DRIFT_BPS);
+
+        // Now fail + repair an arbitrary link; surviving flows must stay
+        // exactly max-min fair throughout.
+        let any = LinkId((link_pick % fabric.topology.link_count()) as u32);
+        net.fail_link(any);
+        prop_assert!(net.fairness_drift_vs_reference() < DRIFT_BPS);
+        net.repair_link(any);
+        prop_assert!(net.fairness_drift_vs_reference() < DRIFT_BPS);
+
+        // New flows route over the repaired fabric again.
+        let id = net
+            .add_stream(fabric.socs[0], fabric.external, DataRate::mbps(3.0))
+            .expect("repaired fabric is fully connected");
+        net.remove_stream(id).expect("live stream");
+        prop_assert!(net.fairness_drift_vs_reference() < DRIFT_BPS);
+    }
+}
