@@ -10,16 +10,31 @@
 //!     --flows 2000 --events 1000 --out BENCH_net.json
 //! ```
 //!
+//! `bench --serve` does the same for the DL-serving hot path: the
+//! fig. 11/12 load grid plus per-combo SLO-rate searches, run once on the
+//! analytic M/D/1 fast path and once on the pure event simulation, written
+//! as `BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --serve \
+//!     --points 40 --out BENCH_serve.json
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
-//! baseline and exits non-zero if events/sec regressed by more than 30%,
-//! if the incremental path stopped being ≥5× cheaper in waterfilling
-//! work, or if the hot path allocated during the measured phase.
+//! baseline and exits non-zero on regression: for `--perf`, if events/sec
+//! dropped by more than 30%, the incremental path stopped being ≥5×
+//! cheaper in waterfilling work, or the hot path allocated during the
+//! measured phase; for `--serve`, if analytic points/sec dropped by more
+//! than 30%, the analytic path stopped being ≥5× faster than simulation,
+//! the analytic measured phase allocated, or the analytic-vs-simulation
+//! p99 drift left its documented tolerance.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use socc_bench::perf::{churn, comparison_json, PerfOptions};
+use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
 
 /// Counts every heap allocation; the perf harness samples it around the
 /// measured phase to prove the hot path is allocation-free.
@@ -54,8 +69,10 @@ fn alloc_count() -> u64 {
 
 struct Args {
     perf: bool,
+    serve: bool,
     flows: usize,
     events: usize,
+    points: usize,
     seed: u64,
     out: Option<String>,
     check: Option<String>,
@@ -64,8 +81,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         perf: false,
+        serve: false,
         flows: 2000,
         events: 1000,
+        points: 40,
         seed: 42,
         out: None,
         check: None,
@@ -75,6 +94,12 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--perf" => args.perf = true,
+            "--serve" => args.serve = true,
+            "--points" => {
+                args.points = value("--points")?
+                    .parse()
+                    .map_err(|e| format!("--points: {e}"))?
+            }
             "--flows" => {
                 args.flows = value("--flows")?
                     .parse()
@@ -185,6 +210,66 @@ fn run_perf(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(args: &Args) -> Result<(), String> {
+    let mut opts = ServeOptions {
+        points_per_engine: args.points,
+        seed: args.seed,
+        analytic: true,
+        ..ServeOptions::default()
+    };
+    let analytic = serving(&opts, &alloc_count);
+    opts.analytic = false;
+    let simulation = serving(&opts, &alloc_count);
+    let doc = socc_bench::serve::comparison_json(&analytic, &simulation);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let base_pps = extract(&baseline, "analytic", "points_per_sec")
+            .ok_or("baseline missing analytic points_per_sec")?;
+        let speedup = extract(&doc, "dl_serving", "speedup").ok_or("run missing speedup")?;
+        let drift_max =
+            extract(&doc, "dl_serving", "p99_drift_max").ok_or("run missing p99_drift_max")?;
+
+        let mut failures = Vec::new();
+        if analytic.points_per_sec < 0.7 * base_pps {
+            failures.push(format!(
+                "analytic points/sec regressed >30%: {:.0} vs baseline {:.0}",
+                analytic.points_per_sec, base_pps
+            ));
+        }
+        if speedup < 5.0 {
+            failures.push(format!(
+                "analytic path no longer ≥5× faster than simulation (speedup {speedup:.2})"
+            ));
+        }
+        if analytic.steady_state_allocs != 0 {
+            failures.push(format!(
+                "analytic hot path allocated {} times during the measured phase",
+                analytic.steady_state_allocs
+            ));
+        }
+        if drift_max > P99_DRIFT_TOLERANCE {
+            failures.push(format!(
+                "analytic-vs-simulation p99 drift {drift_max:.3} exceeds {P99_DRIFT_TOLERANCE}"
+            ));
+        }
+        if !failures.is_empty() {
+            return Err(failures.join("; "));
+        }
+        eprintln!(
+            "serve check ok: {:.0} points/sec (baseline {:.0}), {speedup:.1}x over simulation, p99 drift {drift_max:.3}, 0 hot-path allocs",
+            analytic.points_per_sec, base_pps
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -193,11 +278,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf {
-        eprintln!("usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]");
+    if !args.perf && !args.serve {
+        eprintln!(
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]"
+        );
         return ExitCode::FAILURE;
     }
-    match run_perf(&args) {
+    let run = if args.perf {
+        run_perf(&args)
+    } else {
+        run_serve(&args)
+    };
+    match run {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bench: FAIL: {e}");

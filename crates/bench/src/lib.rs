@@ -10,4 +10,5 @@
 pub mod extensions;
 pub mod perf;
 pub mod repro;
+pub mod serve;
 pub mod sweep;

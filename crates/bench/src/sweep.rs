@@ -2,42 +2,110 @@
 //!
 //! Fine-grained figure series (a 200-point Fig. 12 curve, a seed ensemble
 //! of gaming replays) are embarrassingly parallel; `parallel_map` runs them
-//! on a crossbeam scope while preserving input order.
+//! on a crossbeam scope while preserving input order. Workers claim points
+//! one at a time from a shared atomic counter (work stealing), so a few
+//! expensive points — an SLO bisection near saturation takes orders of
+//! magnitude longer than a light-load point — no longer serialize the
+//! whole static chunk they used to land in.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam::thread;
 
 /// Maps `f` over `inputs` using up to `workers` threads, preserving order.
 ///
+/// Scheduling is dynamic: each worker repeatedly claims the next
+/// unprocessed index from an atomic counter, so load imbalance across
+/// points costs at most one in-flight point per worker, not a chunk.
+///
 /// # Panics
 ///
-/// Propagates panics from `f` (the sweep is only as good as its points).
+/// Propagates the panic of the first failing point (lowest input index),
+/// prefixed with that index so the offending parameters can be found. The
+/// remaining workers stop claiming new points once a failure is observed.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers.max(1);
     let n = inputs.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    if chunk == 0 {
+    if n == 0 {
         return Vec::new();
     }
-    thread::scope(|scope| {
-        for (inputs_chunk, results_chunk) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (input, slot) in inputs_chunk.iter().zip(results_chunk.iter_mut()) {
-                    *slot = Some(f(input));
-                }
-            });
-        }
+    let workers = workers.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let inputs = &inputs;
+    type Fail = (usize, Box<dyn Any + Send + 'static>);
+    let per_worker: Vec<Result<Vec<(usize, R)>, Fail>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, next, poisoned) = (&f, &next, &poisoned);
+                scope.spawn(move |_| -> Result<Vec<(usize, R)>, Fail> {
+                    let mut out = Vec::new();
+                    loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&inputs[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                return Err((i, payload));
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker thread died outside a point"))
+            .collect()
     })
-    .expect("sweep worker panicked");
-    results
+    .expect("crossbeam scope");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut failure: Option<Fail> = None;
+    for result in per_worker {
+        match result {
+            Ok(pairs) => {
+                for (i, r) in pairs {
+                    slots[i] = Some(r);
+                }
+            }
+            // Near-simultaneous failures race; keep the lowest index so
+            // the report is deterministic.
+            Err((i, payload)) => {
+                if failure.as_ref().is_none_or(|(j, _)| i < *j) {
+                    failure = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((i, payload)) = failure {
+        // Re-panic with the point identified; keep the original payload
+        // text when it is the usual &str/String.
+        if let Some(msg) = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+        {
+            panic!("sweep point {i} panicked: {msg}");
+        }
+        resume_unwind(payload);
+    }
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.expect("every non-poisoned slot filled"))
         .collect()
 }
 
@@ -94,6 +162,44 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skewed_point_costs_do_not_serialize() {
+        // One point 1000x the cost of the rest: with work stealing the
+        // result is still ordered and complete regardless of where the
+        // expensive point lands.
+        let out = parallel_map((0..64).collect(), 4, |&x: &u64| {
+            let spins = if x == 3 { 200_000 } else { 200 };
+            (0..spins).fold(x, |acc, _| {
+                acc.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+            });
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_identifies_the_failing_point() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..32).collect(), 4, |&x: &i32| {
+                if x == 17 {
+                    panic!("bisection diverged at load {x}");
+                }
+                x
+            })
+        })
+        .expect_err("sweep must propagate the panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a string");
+        assert!(msg.contains("sweep point 17"), "missing index: {msg}");
+        assert!(
+            msg.contains("bisection diverged at load 17"),
+            "original payload lost: {msg}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod experiments;
 pub mod faults;
 pub mod gaming;
 pub mod orchestrator;
+pub mod placement_index;
 pub mod planner;
 pub mod priority;
 pub mod recovery;

@@ -10,6 +10,7 @@ use socc_sim::time::{SimDuration, SimTime};
 use socc_sim::units::{Energy, Power};
 
 use crate::cluster::{ClusterConfig, SocCluster};
+use crate::placement_index::PlacementIndex;
 use crate::scheduler::{BinPack, Scheduler};
 use crate::soc::Demand;
 use crate::workload::{AdmissionError, SocProcessor, WorkloadId, WorkloadSpec};
@@ -63,6 +64,10 @@ pub struct OrchestratorStats {
 pub struct Orchestrator {
     cluster: SocCluster,
     scheduler: Box<dyn Scheduler>,
+    /// Headroom index over `cluster.socs`, kept in lock-step with every
+    /// place/release/decommission/restore so schedulers decide in
+    /// O(log n) (see `placement_index` invariant 2).
+    placement: PlacementIndex,
     sleep_after: Option<SimDuration>,
     now: SimTime,
     meter: EnergyMeter,
@@ -82,9 +87,11 @@ impl Orchestrator {
         let initial_power = cluster.total_power();
         let mut power_series = TimeSeries::new();
         power_series.push(SimTime::ZERO, initial_power.as_watts());
+        let placement = PlacementIndex::new(&cluster.socs);
         Self {
             cluster,
             scheduler: config.scheduler,
+            placement,
             sleep_after: config.sleep_after,
             now: SimTime::ZERO,
             meter: EnergyMeter::new(SimTime::ZERO, initial_power),
@@ -142,6 +149,13 @@ impl Orchestrator {
         let p = self.cluster.total_power();
         self.meter.set_power(self.now, p);
         self.power_series.push(self.now, p.as_watts());
+    }
+
+    /// Re-summarizes one SoC in the placement index. Every code path that
+    /// mutates a SoC's resources or health must call this before the next
+    /// placement decision.
+    fn reindex(&mut self, soc: usize) {
+        self.placement.update(soc, &self.cluster.socs[soc]);
     }
 
     /// Translates a spec into a per-SoC resource demand and (for archive
@@ -236,7 +250,10 @@ impl Orchestrator {
     /// Submits a workload; places it on a SoC or rejects it.
     pub fn submit(&mut self, spec: WorkloadSpec) -> Result<WorkloadId, AdmissionError> {
         let (demand, runtime) = self.demand_for(&spec)?;
-        let Some(soc) = self.scheduler.place(&demand, &self.cluster.socs) else {
+        let Some(soc) = self
+            .scheduler
+            .place_indexed(&demand, &self.cluster.socs, &self.placement)
+        else {
             self.stats.rejected += 1;
             return Err(AdmissionError::NoCapacity);
         };
@@ -249,6 +266,7 @@ impl Orchestrator {
             self.cluster.bmc.log(self.now, format!("wake soc {soc}"));
         }
         self.cluster.socs[soc].place(&demand);
+        self.reindex(soc);
         self.idle_since[soc] = None;
         let id = WorkloadId(self.next_id);
         self.next_id += 1;
@@ -311,6 +329,7 @@ impl Orchestrator {
             if soc.is_idle() {
                 self.idle_since[placed.soc] = Some(self.now);
             }
+            self.reindex(placed.soc);
         }
     }
 
@@ -325,6 +344,7 @@ impl Orchestrator {
             self.stats.wakeups += 1;
         }
         self.cluster.socs[soc].place(demand);
+        self.reindex(soc);
         self.idle_since[soc] = None;
         self.stats.admitted += 1;
         self.record_power();
@@ -337,6 +357,7 @@ impl Orchestrator {
             if self.cluster.socs[soc].is_idle() {
                 self.idle_since[soc] = Some(self.now);
             }
+            self.reindex(soc);
         }
         self.stats.completed += 1;
         self.record_power();
@@ -423,6 +444,7 @@ impl Orchestrator {
             return;
         }
         self.cluster.socs[soc].decommission();
+        self.reindex(soc);
         self.cluster
             .bmc
             .log(self.now, format!("fault: soc {soc} offline"));
@@ -434,7 +456,10 @@ impl Orchestrator {
             .collect();
         for id in victims {
             let mut placed = self.workloads.remove(&id).expect("victim exists");
-            match self.scheduler.place(&placed.demand, &self.cluster.socs) {
+            match self
+                .scheduler
+                .place_indexed(&placed.demand, &self.cluster.socs, &self.placement)
+            {
                 Some(target)
                     if placed.demand.net_mbps == 0.0
                         || self.cluster.fits_network(target, placed.demand.net_mbps) =>
@@ -443,6 +468,7 @@ impl Orchestrator {
                         self.stats.wakeups += 1;
                     }
                     self.cluster.socs[target].place(&placed.demand);
+                    self.reindex(target);
                     self.idle_since[target] = None;
                     placed.soc = target;
                     self.stats.migrations += 1;
@@ -473,6 +499,7 @@ impl Orchestrator {
             return Vec::new();
         }
         self.cluster.socs[soc].decommission();
+        self.reindex(soc);
         self.idle_since[soc] = None;
         self.cluster
             .bmc
@@ -501,6 +528,7 @@ impl Orchestrator {
             return false;
         }
         self.cluster.socs[soc].restore();
+        self.reindex(soc);
         self.idle_since[soc] = Some(self.now);
         self.cluster
             .bmc
@@ -530,6 +558,7 @@ impl Orchestrator {
                 PowerState::Off | PowerState::Sleep => {
                     if self.cluster.socs[soc].healthy {
                         self.cluster.socs[soc].decommission();
+                        self.reindex(soc);
                         self.idle_since[soc] = None;
                         self.cluster
                             .bmc

@@ -1,0 +1,427 @@
+//! Capacity-indexed placement: O(log n) scheduling decisions that are
+//! byte-identical to the linear scans they replace.
+//!
+//! The orchestrator's placement strategies ([`crate::scheduler`]) scan the
+//! whole fleet per decision. At 60 SoCs that is tolerable; at the
+//! "massive" scale the paper targets (§8) — and in churn-heavy sweeps
+//! where every submit/finish/fault re-runs placement — the linear scan
+//! dominates. [`PlacementIndex`] is a segment tree over SoC slots whose
+//! nodes summarize per-resource *headroom* (capacity − used, elementwise
+//! max over the subtree) plus the minimum CPU utilization, maintained
+//! incrementally in O(log n) per mutation.
+//!
+//! ## Invariants (see DESIGN.md)
+//!
+//! 1. **Summaries are pruning bounds, never decisions.** A subtree is
+//!    skipped only when *no* SoC inside could possibly fit (with a slack
+//!    wider than [`SocUnit::fits`]'s epsilon, so float re-association can
+//!    never prune a fitting SoC). The final accept always calls
+//!    `socs[i].fits(demand)` on the leaf — the exact same predicate, on
+//!    the exact same floats, as the linear scan. Decisions are therefore
+//!    byte-identical, just reached faster.
+//! 2. **The index mirrors `socs` after every mutation.** Every
+//!    place/release/decommission/restore on a `SocUnit` must be followed
+//!    by [`PlacementIndex::update`] for that slot before the next
+//!    placement query. The orchestrator owns this discipline; the
+//!    `debug_assert`s in `scheduler.rs` cross-check every indexed decision
+//!    against the linear scan in debug builds.
+//! 3. **Utilization bounds prune ties conservatively.** `Spread` keeps
+//!    the *first* index among equal utilizations, so a right subtree is
+//!    only skipped when its minimum utilization is `>=` the best found so
+//!    far — equal can't win, smaller might.
+
+use crate::soc::{Demand, SocUnit};
+
+/// Pruning slack added to headroom comparisons. [`SocUnit::fits`] accepts
+/// with a `1e-9` epsilon on `used + demand <= cap`; re-associating that to
+/// `demand <= cap - used` can shift the boundary by a few ULPs of the
+/// operands (≤ ~1e-10 at this domain's magnitudes), so a 1e-6 slack can
+/// never prune a SoC the exact predicate would accept — it only lets a few
+/// borderline subtrees through to the exact leaf check.
+const PRUNE_SLACK: f64 = 1e-6;
+
+/// Per-subtree summary: elementwise **max** headroom across healthy SoCs
+/// (an upper bound on what any single SoC inside can absorb) and the
+/// **min** CPU utilization (a lower bound for `Spread`'s best-first
+/// search).
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    cpu_pu: f64,
+    codec_mb_s: f64,
+    codec_sessions: usize,
+    gpu_frac: f64,
+    dsp_frac: f64,
+    mem_gb: f64,
+    net_mbps: f64,
+    min_cpu_util: f64,
+    any_healthy: bool,
+}
+
+impl Summary {
+    /// The identity for [`Summary::merge`]: an empty/unhealthy range.
+    const EMPTY: Self = Self {
+        cpu_pu: f64::NEG_INFINITY,
+        codec_mb_s: f64::NEG_INFINITY,
+        codec_sessions: 0,
+        gpu_frac: f64::NEG_INFINITY,
+        dsp_frac: f64::NEG_INFINITY,
+        mem_gb: f64::NEG_INFINITY,
+        net_mbps: f64::NEG_INFINITY,
+        min_cpu_util: f64::INFINITY,
+        any_healthy: false,
+    };
+
+    fn leaf(soc: &SocUnit) -> Self {
+        if !soc.healthy {
+            return Self::EMPTY;
+        }
+        let used = soc.used();
+        Self {
+            cpu_pu: soc.spec.cpu.transcode_capacity() - used.cpu_pu,
+            codec_mb_s: soc.spec.codec.throughput_mb_per_s - used.codec_mb_s,
+            codec_sessions: soc
+                .spec
+                .codec
+                .max_sessions
+                .saturating_sub(used.codec_sessions),
+            gpu_frac: soc.gpu_capacity_frac() - used.gpu_frac,
+            dsp_frac: 1.0 - used.dsp_frac,
+            mem_gb: soc.spec.memory.capacity_gb - used.mem_gb,
+            net_mbps: soc.spec.ethernet_bps / 1e6 - used.net_mbps,
+            min_cpu_util: soc.cpu_utilization().get(),
+            any_healthy: true,
+        }
+    }
+
+    /// Merges two child summaries (elementwise max headroom, min util).
+    /// `f64::max`/`min` pick one operand verbatim — no arithmetic — so
+    /// bounds never accumulate rounding error up the tree.
+    fn merge(a: &Self, b: &Self) -> Self {
+        Self {
+            cpu_pu: a.cpu_pu.max(b.cpu_pu),
+            codec_mb_s: a.codec_mb_s.max(b.codec_mb_s),
+            codec_sessions: a.codec_sessions.max(b.codec_sessions),
+            gpu_frac: a.gpu_frac.max(b.gpu_frac),
+            dsp_frac: a.dsp_frac.max(b.dsp_frac),
+            mem_gb: a.mem_gb.max(b.mem_gb),
+            net_mbps: a.net_mbps.max(b.net_mbps),
+            min_cpu_util: a.min_cpu_util.min(b.min_cpu_util),
+            any_healthy: a.any_healthy || b.any_healthy,
+        }
+    }
+
+    /// Could *some* SoC in this range fit `demand`? `false` is a proof of
+    /// no-fit; `true` only licenses descending.
+    fn may_fit(&self, d: &Demand) -> bool {
+        self.any_healthy
+            && d.cpu_pu <= self.cpu_pu + PRUNE_SLACK
+            && d.codec_mb_s <= self.codec_mb_s + PRUNE_SLACK
+            && d.codec_sessions <= self.codec_sessions
+            && d.gpu_frac <= self.gpu_frac + PRUNE_SLACK
+            && d.dsp_frac <= self.dsp_frac + PRUNE_SLACK
+            && d.mem_gb <= self.mem_gb + PRUNE_SLACK
+            && d.net_mbps <= self.net_mbps + PRUNE_SLACK
+    }
+}
+
+/// A segment tree of per-resource headroom over the fleet's SoC slots.
+///
+/// Queries answer the three placement shapes the built-in schedulers need
+/// — first fit, first fit from a cursor (wrap-around), and least-loaded
+/// fit — each in O(log n) descent when the answer exists, with decisions
+/// byte-identical to the corresponding linear scan.
+#[derive(Debug, Clone)]
+pub struct PlacementIndex {
+    /// Number of real slots (leaves beyond `len` are [`Summary::EMPTY`]).
+    len: usize,
+    /// Leaf capacity: `len` rounded up to a power of two (min 1).
+    base: usize,
+    /// 1-based heap layout: `nodes[1]` is the root, leaf `i` lives at
+    /// `base + i`.
+    nodes: Vec<Summary>,
+}
+
+impl PlacementIndex {
+    /// Builds the index for the current state of `socs` in O(n).
+    pub fn new(socs: &[SocUnit]) -> Self {
+        let len = socs.len();
+        let base = len.next_power_of_two().max(1);
+        let mut nodes = vec![Summary::EMPTY; 2 * base];
+        for (i, soc) in socs.iter().enumerate() {
+            nodes[base + i] = Summary::leaf(soc);
+        }
+        for i in (1..base).rev() {
+            nodes[i] = Summary::merge(&nodes[2 * i], &nodes[2 * i + 1]);
+        }
+        Self { len, base, nodes }
+    }
+
+    /// Number of indexed slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no slots are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Re-summarizes slot `i` from its SoC and refreshes the O(log n)
+    /// ancestor path. Must be called after *every* resource or health
+    /// mutation of `socs[i]` (invariant 2 above).
+    pub fn update(&mut self, i: usize, soc: &SocUnit) {
+        assert!(i < self.len, "slot {i} out of range ({} slots)", self.len);
+        let mut node = self.base + i;
+        self.nodes[node] = Summary::leaf(soc);
+        node /= 2;
+        while node >= 1 {
+            self.nodes[node] = Summary::merge(&self.nodes[2 * node], &self.nodes[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    /// Lowest-index SoC that fits `demand` (the `BinPack` decision), or
+    /// `None` if nothing does.
+    pub fn first_fit(&self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        self.first_fit_in(1, 0, self.base, demand, socs)
+    }
+
+    /// First SoC at index `>= start` that fits, wrapping to the front (the
+    /// `RoundRobin` decision for a cursor at `start`).
+    pub fn first_fit_from(&self, start: usize, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let start = start % self.len;
+        self.first_fit_at_or_after(1, 0, self.base, start, demand, socs)
+            .or_else(|| self.first_fit_in(1, 0, self.base, demand, socs))
+    }
+
+    /// Fitting SoC with the minimum CPU utilization, first index winning
+    /// ties (the `Spread` decision), or `None` if nothing fits.
+    pub fn least_loaded_fit(&self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        self.least_loaded_in(1, 0, self.base, demand, socs, &mut best);
+        best.map(|(_, i)| i)
+    }
+
+    fn first_fit_in(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        demand: &Demand,
+        socs: &[SocUnit],
+    ) -> Option<usize> {
+        if lo >= self.len || !self.nodes[node].may_fit(demand) {
+            return None;
+        }
+        if hi - lo == 1 {
+            // Exact check at the leaf: identical predicate to the scan.
+            return socs[lo].fits(demand).then_some(lo);
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.first_fit_in(2 * node, lo, mid, demand, socs)
+            .or_else(|| self.first_fit_in(2 * node + 1, mid, hi, demand, socs))
+    }
+
+    fn first_fit_at_or_after(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        start: usize,
+        demand: &Demand,
+        socs: &[SocUnit],
+    ) -> Option<usize> {
+        if lo >= self.len || hi <= start || !self.nodes[node].may_fit(demand) {
+            return None;
+        }
+        if hi - lo == 1 {
+            return socs[lo].fits(demand).then_some(lo);
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.first_fit_at_or_after(2 * node, lo, mid, start, demand, socs)
+            .or_else(|| self.first_fit_at_or_after(2 * node + 1, mid, hi, start, demand, socs))
+    }
+
+    fn least_loaded_in(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        demand: &Demand,
+        socs: &[SocUnit],
+        best: &mut Option<(f64, usize)>,
+    ) {
+        if lo >= self.len || !self.nodes[node].may_fit(demand) {
+            return;
+        }
+        // Ties keep the earlier index (we search left to right), so a
+        // subtree whose *lower bound* equals the incumbent cannot win.
+        if let Some((best_util, _)) = best {
+            if self.nodes[node].min_cpu_util >= *best_util {
+                return;
+            }
+        }
+        if hi - lo == 1 {
+            if socs[lo].fits(demand) {
+                let util = socs[lo].cpu_utilization().get();
+                // Strict `<`: the first minimal index must win, exactly as
+                // `Iterator::min_by` keeps the first of equal elements.
+                if best.is_none() || util < best.expect("checked").0 {
+                    *best = Some((util, lo));
+                }
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.least_loaded_in(2 * node, lo, mid, demand, socs, best);
+        self.least_loaded_in(2 * node + 1, mid, hi, demand, socs, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virt::DeploymentMode;
+
+    fn fleet(n: usize) -> Vec<SocUnit> {
+        (0..n)
+            .map(|i| SocUnit::new(i, DeploymentMode::Physical))
+            .collect()
+    }
+
+    fn d(pu: f64) -> Demand {
+        Demand {
+            cpu_pu: pu,
+            ..Default::default()
+        }
+    }
+
+    /// Reference decisions: the linear scans the index must reproduce.
+    fn linear_first_fit(demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        socs.iter().position(|s| s.fits(demand))
+    }
+
+    fn linear_least_loaded(demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
+        socs.iter()
+            .enumerate()
+            .filter(|(_, s)| s.fits(demand))
+            .min_by(|(_, a), (_, b)| {
+                a.cpu_utilization()
+                    .get()
+                    .partial_cmp(&b.cpu_utilization().get())
+                    .expect("utilization is never NaN")
+            })
+            .map(|(i, _)| i)
+    }
+
+    #[test]
+    fn first_fit_matches_scan_as_fleet_fills() {
+        let mut socs = fleet(7);
+        let mut idx = PlacementIndex::new(&socs);
+        let demand = d(1000.0);
+        for _ in 0..3 * 7 {
+            let got = idx.first_fit(&demand, &socs);
+            assert_eq!(got, linear_first_fit(&demand, &socs));
+            let Some(i) = got else { break };
+            socs[i].place(&demand);
+            idx.update(i, &socs[i]);
+        }
+        // Fleet is full for this demand; both agree on None.
+        assert_eq!(idx.first_fit(&d(1000.0), &socs), None);
+        assert_eq!(linear_first_fit(&d(1000.0), &socs), None);
+    }
+
+    #[test]
+    fn least_loaded_matches_scan_with_ties() {
+        let mut socs = fleet(5);
+        // socs 2 and 4 share the minimum load: index 2 must win.
+        socs[0].place(&d(2000.0));
+        socs[1].place(&d(500.0));
+        socs[3].place(&d(500.0));
+        let idx = PlacementIndex::new(&socs);
+        assert_eq!(idx.least_loaded_fit(&d(100.0), &socs), Some(2));
+        assert_eq!(
+            idx.least_loaded_fit(&d(100.0), &socs),
+            linear_least_loaded(&d(100.0), &socs)
+        );
+    }
+
+    #[test]
+    fn cursor_queries_wrap() {
+        let mut socs = fleet(4);
+        let mut idx = PlacementIndex::new(&socs);
+        socs[2].place(&d(3235.0)); // full
+        idx.update(2, &socs[2]);
+        assert_eq!(idx.first_fit_from(2, &d(100.0), &socs), Some(3));
+        assert_eq!(idx.first_fit_from(3, &d(100.0), &socs), Some(3));
+        socs[3].place(&d(3235.0));
+        idx.update(3, &socs[3]);
+        assert_eq!(idx.first_fit_from(2, &d(100.0), &socs), Some(0), "wraps");
+    }
+
+    #[test]
+    fn unhealthy_slots_are_invisible() {
+        let mut socs = fleet(3);
+        socs[0].decommission();
+        let mut idx = PlacementIndex::new(&socs);
+        assert_eq!(idx.first_fit(&d(1.0), &socs), Some(1));
+        socs[1].decommission();
+        idx.update(1, &socs[1]);
+        assert_eq!(idx.first_fit(&d(1.0), &socs), Some(2));
+        socs[0].restore();
+        idx.update(0, &socs[0]);
+        assert_eq!(idx.first_fit(&d(1.0), &socs), Some(0));
+    }
+
+    #[test]
+    fn empty_and_single_slot_fleets() {
+        let socs = fleet(0);
+        let idx = PlacementIndex::new(&socs);
+        assert!(idx.is_empty());
+        assert_eq!(idx.first_fit(&d(1.0), &socs), None);
+        assert_eq!(idx.first_fit_from(0, &d(1.0), &socs), None);
+        assert_eq!(idx.least_loaded_fit(&d(1.0), &socs), None);
+
+        let socs = fleet(1);
+        let idx = PlacementIndex::new(&socs);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.first_fit(&d(1.0), &socs), Some(0));
+    }
+
+    #[test]
+    fn multi_resource_demands_prune_correctly() {
+        let mut socs = fleet(6);
+        // Exhaust GPU on the first five SoCs; a GPU demand must land on 5
+        // even though CPU headroom exists everywhere.
+        let gpu = Demand {
+            gpu_frac: 1.0,
+            ..Default::default()
+        };
+        let mut idx = PlacementIndex::new(&socs);
+        for (i, soc) in socs.iter_mut().enumerate().take(5) {
+            soc.place(&gpu);
+            idx.update(i, soc);
+        }
+        let half_gpu = Demand {
+            gpu_frac: 0.5,
+            cpu_pu: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(idx.first_fit(&half_gpu, &socs), Some(5));
+        assert_eq!(
+            idx.first_fit(&half_gpu, &socs),
+            linear_first_fit(&half_gpu, &socs)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        let socs = fleet(2);
+        let mut idx = PlacementIndex::new(&socs);
+        idx.update(2, &socs[0]);
+    }
+}

@@ -6,6 +6,7 @@
 //! (Fig. 7/12's proportional scaling), while spreading maximizes thermal
 //! headroom at the cost of keeping every SoC awake.
 
+use crate::placement_index::PlacementIndex;
 use crate::soc::{Demand, SocUnit};
 
 /// A placement strategy.
@@ -15,6 +16,21 @@ pub trait Scheduler: Send {
 
     /// Picks the SoC index for a demand, or `None` if nothing fits.
     fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize>;
+
+    /// Like [`Self::place`], but may consult a capacity index the caller
+    /// keeps in sync with `socs` for an O(log n) decision. Implementations
+    /// must return **exactly** what `place` would (the index is an
+    /// accelerator, not a different policy); the default ignores the index
+    /// and runs the linear scan.
+    fn place_indexed(
+        &mut self,
+        demand: &Demand,
+        socs: &[SocUnit],
+        index: &PlacementIndex,
+    ) -> Option<usize> {
+        let _ = index;
+        self.place(demand, socs)
+    }
 }
 
 /// Consolidates: first (lowest-index) SoC with room. Idle tails of the
@@ -29,6 +45,21 @@ impl Scheduler for BinPack {
 
     fn place(&mut self, demand: &Demand, socs: &[SocUnit]) -> Option<usize> {
         socs.iter().position(|s| s.fits(demand))
+    }
+
+    fn place_indexed(
+        &mut self,
+        demand: &Demand,
+        socs: &[SocUnit],
+        index: &PlacementIndex,
+    ) -> Option<usize> {
+        let got = index.first_fit(demand, socs);
+        debug_assert_eq!(
+            got,
+            socs.iter().position(|s| s.fits(demand)),
+            "indexed bin-pack diverged from the linear scan"
+        );
+        got
     }
 }
 
@@ -56,6 +87,31 @@ impl Scheduler for RoundRobin {
         }
         None
     }
+
+    fn place_indexed(
+        &mut self,
+        demand: &Demand,
+        socs: &[SocUnit],
+        index: &PlacementIndex,
+    ) -> Option<usize> {
+        if socs.is_empty() {
+            return None;
+        }
+        let got = index.first_fit_from(self.cursor, demand, socs);
+        debug_assert_eq!(
+            got,
+            // The linear decision as a pure function of the pre-call
+            // cursor (the real `place` would advance it).
+            (0..socs.len())
+                .map(|off| (self.cursor + off) % socs.len())
+                .find(|&i| socs[i].fits(demand)),
+            "indexed round-robin diverged from the linear scan"
+        );
+        if let Some(idx) = got {
+            self.cursor = (idx + 1) % socs.len();
+        }
+        got
+    }
 }
 
 /// Least-loaded first (by CPU utilization): maximizes per-SoC headroom and
@@ -79,6 +135,21 @@ impl Scheduler for Spread {
                     .expect("utilization is never NaN")
             })
             .map(|(i, _)| i)
+    }
+
+    fn place_indexed(
+        &mut self,
+        demand: &Demand,
+        socs: &[SocUnit],
+        index: &PlacementIndex,
+    ) -> Option<usize> {
+        let got = index.least_loaded_fit(demand, socs);
+        debug_assert_eq!(
+            got,
+            Spread.place(demand, socs),
+            "indexed spread diverged from the linear scan"
+        );
+        got
     }
 }
 
@@ -158,6 +229,27 @@ mod tests {
             by_name("spread").unwrap(),
         ] {
             assert_eq!(s.place(&d(1.0), &socs), None, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn indexed_decisions_match_linear_for_all_strategies() {
+        use crate::placement_index::PlacementIndex;
+        let mut socs = fleet(5);
+        socs[0].place(&d(3000.0));
+        socs[3].place(&d(800.0));
+        socs[2].healthy = false;
+        let idx = PlacementIndex::new(&socs);
+        for name in ["bin-pack", "round-robin", "spread"] {
+            let mut fast = by_name(name).unwrap();
+            let mut slow = by_name(name).unwrap();
+            for demand in [d(100.0), d(500.0), d(2600.0), d(4000.0)] {
+                assert_eq!(
+                    fast.place_indexed(&demand, &socs, &idx),
+                    slow.place(&demand, &socs),
+                    "{name} diverged on {demand:?}"
+                );
+            }
         }
     }
 

@@ -105,6 +105,18 @@ impl LogHistogram {
         Some(idx.min(self.counts.len() - 1))
     }
 
+    /// Clears all recorded observations while keeping the bucket layout and
+    /// its allocation, so a histogram can be recycled across runs (e.g. the
+    /// SLO-bisection iterations of a serving sweep) without touching the
+    /// heap.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.underflow = 0;
+        self.total = 0;
+        self.sum = 0.0;
+        self.max_seen = f64::NEG_INFINITY;
+    }
+
     /// Records one observation. Non-finite or negative values are counted in
     /// the underflow bucket so they remain visible without poisoning sums.
     pub fn record(&mut self, v: f64) {
@@ -296,6 +308,22 @@ mod tests {
         assert_eq!(h.mean(), 5.0);
         // Underflow observations sit below everything.
         assert_eq!(h.quantile(0.1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn histogram_reset_clears_counts_in_place() {
+        let mut h = LogHistogram::for_latency_ms();
+        for v in [1.0, 10.0, 100.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        h.record(7.0);
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 7.0).abs() < 1e-9);
     }
 
     #[test]

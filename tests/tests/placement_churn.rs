@@ -1,0 +1,130 @@
+//! Property tests for the capacity-indexed placement: under randomized
+//! submit/finish/fail/restore churn, every strategy's indexed decision
+//! must be byte-identical to its linear scan, and the raw index queries
+//! must match direct scans of the fleet.
+
+use proptest::prelude::*;
+use socc_cluster::placement_index::PlacementIndex;
+use socc_cluster::scheduler::{by_name, Scheduler, Spread};
+use socc_cluster::soc::{Demand, SocUnit};
+use socc_cluster::virt::DeploymentMode;
+
+type Rf = std::ops::Range<f64>;
+type DemandRanges = (Rf, Rf, std::ops::Range<usize>, Rf, Rf, Rf, Rf);
+type RawDemand = (f64, f64, usize, f64, f64, f64, f64);
+
+/// Generator ranges for one demand: multi-resource, sized so fleets both
+/// fill up (cpu approaches the ~3235 pu capacity after a couple of
+/// placements) and still admit small requests.
+fn demand_ranges() -> DemandRanges {
+    (
+        0.0..1800.0, // cpu_pu
+        0.0..400.0,  // codec_mb_s
+        0..10,       // codec_sessions
+        0.0..0.6,    // gpu_frac
+        0.0..0.6,    // dsp_frac
+        0.0..6.0,    // mem_gb
+        0.0..500.0,  // net_mbps
+    )
+}
+
+fn demand_from(
+    (cpu_pu, codec_mb_s, codec_sessions, gpu_frac, dsp_frac, mem_gb, net_mbps): RawDemand,
+) -> Demand {
+    Demand {
+        cpu_pu,
+        codec_mb_s,
+        codec_sessions,
+        gpu_frac,
+        dsp_frac,
+        mem_gb,
+        net_mbps,
+    }
+}
+
+proptest! {
+    /// Drives a fleet through random churn. Each submit compares all three
+    /// strategies' indexed decisions against fresh linear scans (stateful
+    /// round-robin cursors advance in lockstep on both sides), then
+    /// commits the bin-pack choice; finishes, faults, and restores keep
+    /// the index in sync via `update`.
+    #[test]
+    fn indexed_decisions_match_linear_under_churn(
+        fleet in 1usize..24,
+        ops in prop::collection::vec((0u8..8, demand_ranges(), 0usize..64), 1..60),
+    ) {
+        let mut socs: Vec<SocUnit> = (0..fleet)
+            .map(|i| SocUnit::new(i, DeploymentMode::Physical))
+            .collect();
+        let mut index = PlacementIndex::new(&socs);
+        let mut fast: Vec<Box<dyn Scheduler>> = ["bin-pack", "round-robin", "spread"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
+        let mut slow: Vec<Box<dyn Scheduler>> = ["bin-pack", "round-robin", "spread"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
+        let mut placed: Vec<(usize, Demand)> = Vec::new();
+
+        for (kind, raw_demand, pick) in ops {
+            let demand = demand_from(raw_demand);
+            match kind {
+                // Submit-heavy mix so fleets actually fill up.
+                0..=4 => {
+                    let mut binpack_choice = None;
+                    for (f, s) in fast.iter_mut().zip(slow.iter_mut()) {
+                        let got = f.place_indexed(&demand, &socs, &index);
+                        let want = s.place(&demand, &socs);
+                        prop_assert_eq!(got, want, "{} diverged from linear scan", f.name());
+                        if f.name() == "bin-pack" {
+                            binpack_choice = got;
+                        }
+                    }
+                    if let Some(i) = binpack_choice {
+                        socs[i].place(&demand);
+                        index.update(i, &socs[i]);
+                        placed.push((i, demand));
+                    }
+                }
+                5 => {
+                    if !placed.is_empty() {
+                        let (i, d) = placed.swap_remove(pick % placed.len());
+                        socs[i].release(&d);
+                        index.update(i, &socs[i]);
+                    }
+                }
+                6 => {
+                    let i = pick % socs.len();
+                    socs[i].decommission();
+                    placed.retain(|&(j, _)| j != i);
+                    index.update(i, &socs[i]);
+                }
+                _ => {
+                    let i = pick % socs.len();
+                    socs[i].restore();
+                    placed.retain(|&(j, _)| j != i);
+                    index.update(i, &socs[i]);
+                }
+            }
+
+            // Raw index queries agree with direct scans at every state.
+            let probe = Demand { cpu_pu: 400.0, mem_gb: 1.0, ..Demand::default() };
+            prop_assert_eq!(
+                index.first_fit(&probe, &socs),
+                socs.iter().position(|s| s.fits(&probe))
+            );
+            let cursor = pick % socs.len();
+            prop_assert_eq!(
+                index.first_fit_from(cursor, &probe, &socs),
+                (0..socs.len())
+                    .map(|off| (cursor + off) % socs.len())
+                    .find(|&i| socs[i].fits(&probe))
+            );
+            prop_assert_eq!(
+                index.least_loaded_fit(&probe, &socs),
+                Spread.place(&probe, &socs)
+            );
+        }
+    }
+}

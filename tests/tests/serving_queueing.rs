@@ -1,0 +1,149 @@
+//! Property tests for the analytic M/D/1 fast path: across randomized
+//! service times and utilizations, the exact Crommelin series must agree
+//! with a converged event simulation, its CDF/quantiles must be coherent,
+//! and the analytic SLO-rate bisection must be self-consistent.
+
+use proptest::prelude::*;
+use socc_bench::serve::COMBOS;
+use socc_dl::queueing::{max_rate_within_slo, simulate_tail_into, Md1, SimArena, SLO_RATE_REL_TOL};
+use socc_sim::rng::SimRng;
+use socc_sim::time::SimDuration;
+
+proptest! {
+    /// The exact mean and p99 match a simulation whose horizon spans
+    /// enough relaxation times (`s/(1−ρ)²`) to be converged. The p99
+    /// tolerance budgets the log-histogram bucket width (≤ ~12.2%
+    /// relative) plus residual sampling noise.
+    #[test]
+    fn analytic_matches_converged_simulation(
+        service_ms in 1.0f64..80.0,
+        rho in 0.05f64..0.75,
+        seed in 0u64..(1 << 32),
+    ) {
+        let s = service_ms / 1e3;
+        let service = SimDuration::from_millis_f64(service_ms);
+        let rate = rho / s;
+        let q = Md1::new(rate, service).expect("rho < 1 is stable");
+        let horizon_secs =
+            (2000.0 * s / ((1.0 - rho) * (1.0 - rho))).max(4000.0 * s / rho);
+        let mut arena = SimArena::new();
+        let mut rng = SimRng::seed(seed);
+        let r = simulate_tail_into(
+            &mut arena,
+            service,
+            rate,
+            SimDuration::from_secs_f64(horizon_secs),
+            &mut rng,
+        );
+
+        let exact_mean = q.mean_sojourn_secs() * 1e3;
+        let mean_drift = (r.mean_ms - exact_mean).abs() / exact_mean;
+        prop_assert!(
+            mean_drift < 0.15,
+            "mean drift {mean_drift:.3}: sim {} vs exact {exact_mean} (rho {rho})",
+            r.mean_ms
+        );
+
+        let exact_p99 = q
+            .sojourn_quantile(0.99)
+            .expect("p99 is analytically stable below rho 0.85")
+            .as_millis_f64();
+        let p99_drift = (r.p99_ms - exact_p99).abs() / exact_p99.max(r.p99_ms);
+        prop_assert!(
+            p99_drift < 0.30,
+            "p99 drift {p99_drift:.3}: sim {} vs exact {exact_p99} (rho {rho})",
+            r.p99_ms
+        );
+    }
+}
+
+proptest! {
+    /// Distributional coherence of the exact model: the wait CDF starts at
+    /// the 1−ρ no-wait atom, never decreases in t, and the sojourn
+    /// quantiles are ordered in q and floored at the service time.
+    #[test]
+    fn cdf_and_quantiles_are_coherent(
+        service_ms in 1.0f64..80.0,
+        rho in 0.02f64..0.9,
+        t_units in prop::collection::vec(0.0f64..12.0, 2..6),
+    ) {
+        let s = service_ms / 1e3;
+        let service = SimDuration::from_millis_f64(service_ms);
+        let q = Md1::new(rho / s, service).expect("stable");
+
+        // `SimDuration` quantizes to nanoseconds, so compare against the
+        // model's own utilization, not the requested rho.
+        let atom = q.wait_cdf(SimDuration::ZERO).expect("t = 0 is trivially stable");
+        prop_assert!((atom - (1.0 - q.utilization())).abs() < 1e-12, "atom {atom} vs 1-rho");
+
+        let mut ts = t_units;
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0f64;
+        for &u in &ts {
+            if let Some(f) = q.wait_cdf(SimDuration::from_secs_f64(u * s)) {
+                prop_assert!(f >= prev - 1e-9, "CDF decreased: {prev} -> {f}");
+                prop_assert!((0.0..=1.0).contains(&f));
+                prev = f;
+            }
+        }
+
+        let quantiles: Vec<f64> = [0.5, 0.95, 0.99]
+            .iter()
+            .filter_map(|&p| q.sojourn_quantile(p).map(|d| d.as_secs_f64()))
+            .collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[1] >= pair[0] - 1e-12, "quantiles out of order: {quantiles:?}");
+        }
+        let s_exact = service.as_secs_f64();
+        for &v in &quantiles {
+            prop_assert!(
+                v >= s_exact * (1.0 - 1e-9),
+                "sojourn below service time: {v} < {s_exact}"
+            );
+        }
+    }
+
+    /// The analytic SLO-rate bisection is self-consistent: just inside the
+    /// returned rate the exact p99 meets the SLO, just outside it misses —
+    /// to within the bisection's own documented tolerance.
+    #[test]
+    fn analytic_slo_rate_is_self_consistent(
+        combo in 0usize..COMBOS.len(),
+        slo_mult in 1.1f64..5.0,
+        seed in 0u64..(1 << 16),
+    ) {
+        let (engine, model, dtype) = COMBOS[combo];
+        let service = engine.latency(model, dtype, 1).expect("combo supported");
+        let s = service.as_secs_f64();
+        let slo = SimDuration::from_secs_f64(s * slo_mult);
+        let rate = max_rate_within_slo(engine, model, dtype, slo, seed)
+            .expect("combo supported");
+        let capacity = 1.0 / s;
+        prop_assert!(rate > 0.0 && rate < capacity, "rate {rate} vs capacity {capacity}");
+
+        let tol = 2.0 * SLO_RATE_REL_TOL * capacity;
+        if rate > tol {
+            let inside = Md1::new(rate - tol, service).expect("below capacity");
+            if let Some(p99) = inside.sojourn_quantile(0.99) {
+                prop_assert!(
+                    p99.as_secs_f64() <= slo.as_secs_f64() * 1.001,
+                    "p99 {} ms misses SLO {} ms just inside the returned rate",
+                    p99.as_millis_f64(),
+                    slo.as_millis_f64()
+                );
+            }
+        }
+        if rate + tol < capacity {
+            if let Some(outside) = Md1::new(rate + tol, service) {
+                if let Some(p99) = outside.sojourn_quantile(0.99) {
+                    prop_assert!(
+                        p99.as_secs_f64() >= slo.as_secs_f64() * 0.999,
+                        "p99 {} ms still meets SLO {} ms above the returned rate",
+                        p99.as_millis_f64(),
+                        slo.as_millis_f64()
+                    );
+                }
+            }
+        }
+    }
+}
