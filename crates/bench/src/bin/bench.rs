@@ -20,6 +20,19 @@
 //!     --points 40 --out BENCH_serve.json
 //! ```
 //!
+//! `bench --chaos` runs seeded chaos campaigns over the fault-tolerant
+//! orchestration loop — correlated failure-domain schedules paired with
+//! independent twins at equal per-SoC death AFR — checking the ledger,
+//! placement-index, and no-lost-critical invariants after every step, and
+//! writes `BENCH_chaos.json`. `--step K` replays one campaign pair and
+//! prints its byte-identical outcome:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --chaos \
+//!     --campaigns 256 --seed 42 --out BENCH_chaos.json
+//! cargo run --release -p socc-bench --bin bench -- --chaos --seed 42 --step 17
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
 //! baseline and exits non-zero on regression: for `--perf`, if events/sec
 //! dropped by more than 30%, the incremental path stopped being ≥5×
@@ -27,12 +40,15 @@
 //! measured phase; for `--serve`, if analytic points/sec dropped by more
 //! than 30%, the analytic path stopped being ≥5× faster than simulation,
 //! the analytic measured phase allocated, or the analytic-vs-simulation
-//! p99 drift left its documented tolerance.
+//! p99 drift left its documented tolerance; for `--chaos`, if any
+//! invariant was violated, correlated availability stopped sitting below
+//! independent, or a per-class MTTR p50 regressed by more than 30%.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
 use socc_bench::perf::{churn, comparison_json, PerfOptions};
 use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
 
@@ -70,9 +86,12 @@ fn alloc_count() -> u64 {
 struct Args {
     perf: bool,
     serve: bool,
+    chaos: bool,
     flows: usize,
     events: usize,
     points: usize,
+    campaigns: usize,
+    step: Option<usize>,
     seed: u64,
     out: Option<String>,
     check: Option<String>,
@@ -82,9 +101,12 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         perf: false,
         serve: false,
+        chaos: false,
         flows: 2000,
         events: 1000,
         points: 40,
+        campaigns: 256,
+        step: None,
         seed: 42,
         out: None,
         check: None,
@@ -95,6 +117,19 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--perf" => args.perf = true,
             "--serve" => args.serve = true,
+            "--chaos" => args.chaos = true,
+            "--campaigns" => {
+                args.campaigns = value("--campaigns")?
+                    .parse()
+                    .map_err(|e| format!("--campaigns: {e}"))?
+            }
+            "--step" => {
+                args.step = Some(
+                    value("--step")?
+                        .parse()
+                        .map_err(|e| format!("--step: {e}"))?,
+                )
+            }
             "--points" => {
                 args.points = value("--points")?
                     .parse()
@@ -270,6 +305,71 @@ fn run_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// MTTR classes the `--check` gate watches (must match the report).
+const CHAOS_MTTR_CLASSES: [&str; 4] = ["crash", "hang", "thermal_trip", "link_loss"];
+
+fn run_chaos_cmd(args: &Args) -> Result<(), String> {
+    let opts = ChaosOptions {
+        campaigns: args.campaigns,
+        seed: args.seed,
+        ..ChaosOptions::default()
+    };
+    if let Some(k) = args.step {
+        // One-campaign repro: deterministic text, no wall-clock, no JSON.
+        print!("{}", replay(&opts, k));
+        return Ok(());
+    }
+    let report = run_chaos(&opts);
+    let doc = report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let mut failures = Vec::new();
+    for v in &report.violations {
+        failures.push(format!(
+            "invariant violation in campaign {}: {} ({})",
+            v.campaign, v.detail, v.repro
+        ));
+    }
+    if report.correlated_mean >= report.independent_mean {
+        failures.push(format!(
+            "correlated availability {:.4} not below independent {:.4} — the domain model lost its teeth",
+            report.correlated_mean, report.independent_mean
+        ));
+    }
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        for class in CHAOS_MTTR_CLASSES {
+            let (Some(base_p50), Some(run_p50)) = (
+                extract(&baseline, class, "p50_ms"),
+                extract(&doc, class, "p50_ms"),
+            ) else {
+                continue;
+            };
+            if base_p50 > 0.0 && run_p50 > 1.3 * base_p50 {
+                failures.push(format!(
+                    "{class} MTTR p50 regressed >30%: {run_p50:.1} ms vs baseline {base_p50:.1} ms"
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "chaos check ok: {} campaigns, 0 violations, availability gap {:.4} (corr {:.4} < indep {:.4})",
+        report.options.campaigns,
+        report.independent_mean - report.correlated_mean,
+        report.correlated_mean,
+        report.independent_mean
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -278,16 +378,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf && !args.serve {
+    if !args.perf && !args.serve && !args.chaos {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
     let run = if args.perf {
         run_perf(&args)
-    } else {
+    } else if args.serve {
         run_serve(&args)
+    } else {
+        run_chaos_cmd(&args)
     };
     match run {
         Ok(()) => ExitCode::SUCCESS,

@@ -37,6 +37,11 @@ pub enum DetectedClass {
     /// The SoC is up but its fabric access link is down; it returns when
     /// the link is repaired.
     LinkLoss,
+    /// The SoC is healthy and powered (the BMC side channel says so) but
+    /// unreachable through the fabric because a failure *upstream* of its
+    /// own access link — an ESB port group — cut it off. It keeps running
+    /// local work and must not be treated as crashed.
+    Partitioned,
 }
 
 impl DetectedClass {
@@ -52,6 +57,7 @@ impl DetectedClass {
             DetectedClass::Hang => "hang",
             DetectedClass::ThermalTrip => "thermal_trip",
             DetectedClass::LinkLoss => "link_loss",
+            DetectedClass::Partitioned => "partitioned",
         }
     }
 
@@ -137,8 +143,11 @@ pub fn access_links(fabric: &ClusterFabric, soc: usize) -> Vec<LinkId> {
 }
 
 /// Classifies a silent SoC by probing out-of-band state: BMC temperature
-/// (thermal trip), fabric reachability (link loss), BMC power (crash), and
-/// otherwise a hang. Probes go through the framed BMC wire protocol.
+/// (thermal trip), fabric reachability (link loss vs. partition), BMC
+/// power (crash), and otherwise a hang. Probes go through the framed BMC
+/// wire protocol — the I2C side channel keeps working when the fabric does
+/// not, which is exactly what separates a partitioned SoC (unreachable but
+/// powered and healthy) from a crashed one.
 pub fn classify(
     cluster: &mut SocCluster,
     routing: &FailureAwareRouting,
@@ -151,17 +160,35 @@ pub fn classify(
             return DetectedClass::ThermalTrip;
         }
     }
+    let powered = {
+        let power_frame = encode_command(BmcCommand::ReadSocPower(soc as u8));
+        match cluster.bmc.handle_frame(&power_frame) {
+            Ok(BmcResponse::PowerCw(cw)) => cw > 0,
+            _ => false,
+        }
+    };
     if routing
         .route(&fabric.topology, fabric.socs[soc], fabric.external)
         .is_none()
     {
-        return DetectedClass::LinkLoss;
-    }
-    let power_frame = encode_command(BmcCommand::ReadSocPower(soc as u8));
-    if let Ok(BmcResponse::PowerCw(cw)) = cluster.bmc.handle_frame(&power_frame) {
-        if cw == 0 {
+        if !powered {
+            // Dark *and* unroutable: the board (or the SoC itself) died;
+            // the missing route is a consequence, not the cause.
             return DetectedClass::Crash;
         }
+        // Powered but unroutable: is the SoC's own access link the break,
+        // or something upstream of it?
+        let own_link_up = access_links(fabric, soc)
+            .iter()
+            .all(|&link| routing.usable(link));
+        return if own_link_up {
+            DetectedClass::Partitioned
+        } else {
+            DetectedClass::LinkLoss
+        };
+    }
+    if !powered {
+        return DetectedClass::Crash;
     }
     DetectedClass::Hang
 }
@@ -226,6 +253,54 @@ mod tests {
             classify(&mut cluster, &routing, &fabric, 9),
             DetectedClass::LinkLoss
         );
+    }
+
+    #[test]
+    fn classifies_partition_when_upstream_uplink_dies() {
+        // The PCB's ESB uplink fails but the SoC's own access link is fine
+        // and the BMC reports it powered: that is a partition, not a crash
+        // and not a link loss.
+        let (mut cluster, mut routing, fabric) = harness();
+        for link in fabric.uplinks_of_pcb(1) {
+            routing.fail(link);
+        }
+        for soc in 5..10 {
+            assert_eq!(
+                classify(&mut cluster, &routing, &fabric, soc),
+                DetectedClass::Partitioned
+            );
+        }
+        // SoCs on other boards still route; nothing else is misclassified.
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 0),
+            DetectedClass::Hang
+        );
+    }
+
+    #[test]
+    fn dark_soc_behind_partition_is_still_a_crash() {
+        // The BMC side channel disambiguates: a SoC with zero power draw is
+        // a crash even when the fabric around it is also partitioned.
+        let (mut cluster, mut routing, fabric) = harness();
+        for link in fabric.uplinks_of_pcb(1) {
+            routing.fail(link);
+        }
+        cluster.socs[6].decommission();
+        cluster.refresh_bmc();
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 6),
+            DetectedClass::Crash
+        );
+        assert_eq!(
+            classify(&mut cluster, &routing, &fabric, 7),
+            DetectedClass::Partitioned
+        );
+    }
+
+    #[test]
+    fn partitioned_is_recoverable_with_label() {
+        assert!(DetectedClass::Partitioned.recoverable());
+        assert_eq!(DetectedClass::Partitioned.label(), "partitioned");
     }
 
     #[test]

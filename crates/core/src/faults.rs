@@ -4,8 +4,19 @@
 //! 24/7 in clouds … The failure of a single SoC subsystem, such as flash,
 //! can render the application and entire SoC unusable. Therefore, fault
 //! tolerance is crucial for the success of SoC Cluster."
+//!
+//! The chassis is not 60 independent machines: five SoCs share each PCB
+//! carrier board, the twelve boards hang off one Ethernet Switch Board, and
+//! the whole 2U enclosure shares a redundant PSU pair and one airflow path.
+//! Faults therefore arrive *correlated*: [`FailureDomains`] derives that
+//! hierarchy from the fabric topology, and [`FaultInjector`] can schedule
+//! domain-level events ([`DomainFault`]) alongside the independent per-SoC
+//! kinds.
+
+use std::ops::Range;
 
 use serde::{Deserialize, Serialize};
+use socc_net::topology::ClusterFabric;
 use socc_sim::rng::SimRng;
 use socc_sim::time::{SimDuration, SimTime};
 
@@ -48,6 +59,200 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// ESB port groups span this many PCB uplink ports (the switch's PHYs are
+/// ganged four ports per quad); losing a group partitions four boards at
+/// once.
+pub const BOARDS_PER_PORT_GROUP: usize = 4;
+
+/// Redundant PSU modules feeding the chassis (the paper's 2 × 400 W pair).
+pub const PSU_RAILS: usize = 2;
+
+/// Airflow zones of the 2U fan wall (front/rear board halves).
+pub const THERMAL_ZONES: usize = 2;
+
+/// One level of the chassis failure-domain hierarchy: a fault lands on a
+/// single SoC, a whole carrier board, an ESB port group, a PSU rail, or an
+/// airflow zone — each with a progressively wider blast radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// A single SoC slot.
+    Soc(usize),
+    /// A PCB carrier board and the five SoCs it carries.
+    Board(usize),
+    /// A group of [`BOARDS_PER_PORT_GROUP`] adjacent ESB ports.
+    EsbPortGroup(usize),
+    /// One module of the redundant PSU pair.
+    PsuRail(usize),
+    /// One airflow zone of the fan wall.
+    ThermalZone(usize),
+}
+
+/// The chassis failure-domain hierarchy, sized from the fabric topology
+/// (SoC → PCB board → ESB port group, plus the PSU rails and airflow zones
+/// the chassis shares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureDomains {
+    /// SoC slots.
+    pub socs: usize,
+    /// PCB carrier boards.
+    pub boards: usize,
+    /// ESB port groups.
+    pub port_groups: usize,
+    /// PSU rails.
+    pub psu_rails: usize,
+    /// Airflow zones.
+    pub thermal_zones: usize,
+}
+
+impl FailureDomains {
+    /// Derives the hierarchy from a built fabric: boards and SoCs are read
+    /// off the topology, port groups gang the boards in quads, and the PSU
+    /// rails / airflow zones come from the chassis design constants.
+    pub fn from_fabric(fabric: &ClusterFabric) -> Self {
+        Self {
+            socs: fabric.socs.len(),
+            boards: fabric.pcbs.len(),
+            port_groups: fabric.pcbs.len().div_ceil(BOARDS_PER_PORT_GROUP),
+            psu_rails: PSU_RAILS,
+            thermal_zones: THERMAL_ZONES,
+        }
+    }
+
+    /// Same hierarchy for a fleet of `socs` SoCs without building a fabric.
+    pub fn for_cluster(socs: usize) -> Self {
+        let boards = socs.div_ceil(socc_hw::calib::SOCS_PER_PCB);
+        Self {
+            socs,
+            boards,
+            port_groups: boards.div_ceil(BOARDS_PER_PORT_GROUP),
+            psu_rails: PSU_RAILS,
+            thermal_zones: THERMAL_ZONES,
+        }
+    }
+
+    /// The board carrying a SoC slot.
+    pub fn board_of_soc(&self, soc: usize) -> usize {
+        soc / socc_hw::calib::SOCS_PER_PCB
+    }
+
+    /// SoC slots on a board (clamped at the fleet edge).
+    pub fn socs_of_board(&self, board: usize) -> Range<usize> {
+        let per = socc_hw::calib::SOCS_PER_PCB;
+        (board * per).min(self.socs)..((board + 1) * per).min(self.socs)
+    }
+
+    /// The ESB port group feeding a board.
+    pub fn port_group_of_board(&self, board: usize) -> usize {
+        board / BOARDS_PER_PORT_GROUP
+    }
+
+    /// Boards behind an ESB port group (clamped at the fleet edge).
+    pub fn boards_of_port_group(&self, group: usize) -> Range<usize> {
+        (group * BOARDS_PER_PORT_GROUP).min(self.boards)
+            ..((group + 1) * BOARDS_PER_PORT_GROUP).min(self.boards)
+    }
+
+    /// SoC slots behind an ESB port group (contiguous by construction).
+    pub fn socs_of_port_group(&self, group: usize) -> Range<usize> {
+        let boards = self.boards_of_port_group(group);
+        self.socs_of_board(boards.start).start..self.socs_of_board(boards.end.saturating_sub(1)).end
+    }
+
+    /// The airflow zone a board sits in (front/rear half of the chassis).
+    pub fn thermal_zone_of_board(&self, board: usize) -> usize {
+        let half = self.boards.div_ceil(THERMAL_ZONES).max(1);
+        (board / half).min(THERMAL_ZONES - 1)
+    }
+}
+
+/// A correlated, domain-level fault: the target and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DomainFault {
+    /// A carrier board drops: its five SoCs and their uplink fail
+    /// atomically and permanently (the board must be swapped).
+    BoardDown {
+        /// Board slot.
+        board: usize,
+    },
+    /// An ESB port group goes dark: the boards behind it keep running
+    /// local work but are unreachable until the partition heals.
+    FabricPartition {
+        /// Port group index.
+        group: usize,
+        /// How long the partition lasts.
+        duration: SimDuration,
+    },
+    /// A PSU rail derates: the cluster caps DVFS states and tightens
+    /// admission instead of killing SoCs.
+    PowerBrownout {
+        /// PSU rail index.
+        rail: usize,
+        /// How long the brownout lasts.
+        duration: SimDuration,
+    },
+}
+
+impl DomainFault {
+    /// The failure domain this fault lands on.
+    pub fn domain(&self) -> FailureDomain {
+        match *self {
+            DomainFault::BoardDown { board } => FailureDomain::Board(board),
+            DomainFault::FabricPartition { group, .. } => FailureDomain::EsbPortGroup(group),
+            DomainFault::PowerBrownout { rail, .. } => FailureDomain::PsuRail(rail),
+        }
+    }
+
+    /// The SoC slots inside the blast radius (the whole fleet for a
+    /// brownout — every SoC shares the PSU rails).
+    pub fn blast_radius(&self, domains: &FailureDomains) -> Range<usize> {
+        match *self {
+            DomainFault::BoardDown { board } => domains.socs_of_board(board),
+            DomainFault::FabricPartition { group, .. } => domains.socs_of_port_group(group),
+            DomainFault::PowerBrownout { .. } => 0..domains.socs,
+        }
+    }
+
+    /// Sort key for deterministic schedule ordering at equal timestamps.
+    fn order(&self) -> (u8, usize) {
+        match *self {
+            DomainFault::BoardDown { board } => (0, board),
+            DomainFault::FabricPartition { group, .. } => (1, group),
+            DomainFault::PowerBrownout { rail, .. } => (2, rail),
+        }
+    }
+}
+
+/// A scheduled domain-level fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainFaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What breaks, and where.
+    pub fault: DomainFault,
+}
+
+/// A complete fault schedule: independent per-SoC events plus correlated
+/// domain-level events, each sorted by time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    /// Independent per-SoC faults.
+    pub soc: Vec<FaultEvent>,
+    /// Correlated domain-level faults.
+    pub domain: Vec<DomainFaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Total number of scheduled events across both levels.
+    pub fn len(&self) -> usize {
+        self.soc.len() + self.domain.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.soc.is_empty() && self.domain.is_empty()
+    }
+}
+
 /// Generates fault schedules from annual failure rates.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
@@ -64,6 +269,18 @@ pub struct FaultInjector {
     /// Annual rate of fabric-link failures per SoC slot. Zero by default
     /// for the same reason.
     pub link_afr: f64,
+    /// Annual rate of whole-board drops per PCB (power stage or carrier
+    /// failure takes all five SoCs and their uplink at once). Zero by
+    /// default: correlated kinds are opt-in for chaos campaigns.
+    pub board_afr: f64,
+    /// Annual rate of ESB port-group losses per group. Zero by default.
+    pub partition_afr: f64,
+    /// Annual rate of PSU-rail brownouts per rail. Zero by default.
+    pub brownout_afr: f64,
+    /// How long a fabric partition lasts before the switch recovers.
+    pub partition_duration: SimDuration,
+    /// How long a PSU brownout lasts before the rail recovers.
+    pub brownout_duration: SimDuration,
 }
 
 impl Default for FaultInjector {
@@ -74,6 +291,11 @@ impl Default for FaultInjector {
             memory_afr: 0.008,
             thermal_afr: 0.0,
             link_afr: 0.0,
+            board_afr: 0.0,
+            partition_afr: 0.0,
+            brownout_afr: 0.0,
+            partition_duration: SimDuration::from_secs(300),
+            brownout_duration: SimDuration::from_secs(600),
         }
     }
 }
@@ -116,11 +338,92 @@ impl FaultInjector {
         events
     }
 
-    /// Expected number of failed SoCs after `horizon` for a fleet.
+    /// Draws the domain-level schedule for `domains` over `horizon`,
+    /// sorted by time. Each (domain, kind) pair fires at most once.
+    ///
+    /// Like [`FaultInjector::schedule`], degenerate inputs (no domains,
+    /// zero horizon, or all domain rates zero) consume no randomness.
+    pub fn schedule_domains(
+        &self,
+        domains: &FailureDomains,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<DomainFaultEvent> {
+        if domains.socs == 0 || horizon.is_zero() {
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        let draw = |afr: f64, rng: &mut SimRng| -> Option<SimTime> {
+            if afr <= 0.0 {
+                return None;
+            }
+            let ttf_secs = rng.exponential(afr / SECS_PER_YEAR);
+            (ttf_secs < horizon.as_secs_f64()).then(|| SimTime::from_secs_f64(ttf_secs))
+        };
+        for board in 0..domains.boards {
+            if let Some(at) = draw(self.board_afr, rng) {
+                events.push(DomainFaultEvent {
+                    at,
+                    fault: DomainFault::BoardDown { board },
+                });
+            }
+        }
+        for group in 0..domains.port_groups {
+            if let Some(at) = draw(self.partition_afr, rng) {
+                events.push(DomainFaultEvent {
+                    at,
+                    fault: DomainFault::FabricPartition {
+                        group,
+                        duration: self.partition_duration,
+                    },
+                });
+            }
+        }
+        for rail in 0..domains.psu_rails {
+            if let Some(at) = draw(self.brownout_afr, rng) {
+                events.push(DomainFaultEvent {
+                    at,
+                    fault: DomainFault::PowerBrownout {
+                        rail,
+                        duration: self.brownout_duration,
+                    },
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.fault.order()));
+        events
+    }
+
+    /// Draws the complete schedule — per-SoC events first, then domain
+    /// events, in that fixed RNG order — for a fleet shaped by `domains`.
+    pub fn schedule_all(
+        &self,
+        domains: &FailureDomains,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> FaultSchedule {
+        FaultSchedule {
+            soc: self.schedule(domains.socs, horizon, rng),
+            domain: self.schedule_domains(domains, horizon, rng),
+        }
+    }
+
+    /// Expected number of SoCs taken out of service after `horizon`.
+    ///
+    /// A SoC leaves service when any of its own fault kinds strikes *or*
+    /// its board drops, so the per-SoC hazard is the sum of the five
+    /// per-SoC rates plus the board rate (every SoC sits on exactly one
+    /// board, and a board drop downs all of its SoCs). Fabric partitions
+    /// and brownouts degrade service but leave SoCs running, so they do
+    /// not contribute here.
     pub fn expected_failures(&self, socs: usize, horizon: SimDuration) -> f64 {
         let years = horizon.as_secs_f64() / SECS_PER_YEAR;
-        let rate =
-            self.flash_afr + self.hang_afr + self.memory_afr + self.thermal_afr + self.link_afr;
+        let rate = self.flash_afr
+            + self.hang_afr
+            + self.memory_afr
+            + self.thermal_afr
+            + self.link_afr
+            + self.board_afr;
         socs as f64 * (1.0 - (-rate * years).exp())
     }
 }
@@ -223,5 +526,135 @@ mod tests {
         let a = inj.schedule(60, horizon, &mut SimRng::seed(7));
         let b = inj.schedule(60, horizon, &mut SimRng::seed(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_hierarchy_maps_the_chassis() {
+        let fabric = socc_net::topology::Topology::soc_cluster(60);
+        let d = FailureDomains::from_fabric(&fabric);
+        assert_eq!(d, FailureDomains::for_cluster(60));
+        assert_eq!((d.socs, d.boards, d.port_groups), (60, 12, 3));
+        assert_eq!(d.board_of_soc(0), 0);
+        assert_eq!(d.board_of_soc(59), 11);
+        assert_eq!(d.socs_of_board(11), 55..60);
+        assert_eq!(d.port_group_of_board(7), 1);
+        assert_eq!(d.boards_of_port_group(2), 8..12);
+        assert_eq!(d.socs_of_port_group(1), 20..40);
+        assert_eq!(d.thermal_zone_of_board(0), 0);
+        assert_eq!(d.thermal_zone_of_board(11), 1);
+        // Blast radii follow the hierarchy.
+        let board = DomainFault::BoardDown { board: 3 };
+        assert_eq!(board.blast_radius(&d), 15..20);
+        assert_eq!(board.domain(), FailureDomain::Board(3));
+        let part = DomainFault::FabricPartition {
+            group: 0,
+            duration: SimDuration::from_secs(60),
+        };
+        assert_eq!(part.blast_radius(&d), 0..20);
+        let brown = DomainFault::PowerBrownout {
+            rail: 1,
+            duration: SimDuration::from_secs(60),
+        };
+        assert_eq!(brown.blast_radius(&d), 0..60);
+    }
+
+    #[test]
+    fn ragged_fleet_clamps_domain_ranges() {
+        let d = FailureDomains::for_cluster(7);
+        assert_eq!((d.socs, d.boards, d.port_groups), (7, 2, 1));
+        assert_eq!(d.socs_of_board(1), 5..7);
+        assert_eq!(d.socs_of_port_group(0), 0..7);
+    }
+
+    #[test]
+    fn domain_schedule_is_deterministic_and_sorted() {
+        let inj = FaultInjector {
+            board_afr: 3.0,
+            partition_afr: 6.0,
+            brownout_afr: 2.0,
+            ..FaultInjector::default()
+        };
+        let d = FailureDomains::for_cluster(60);
+        let horizon = SimDuration::from_hours(24 * 365);
+        let a = inj.schedule_domains(&d, horizon, &mut SimRng::seed(5));
+        let b = inj.schedule_domains(&d, horizon, &mut SimRng::seed(5));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for pair in a.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        // All three correlated kinds appear at these rates.
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.fault, DomainFault::BoardDown { .. })));
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.fault, DomainFault::FabricPartition { .. })));
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.fault, DomainFault::PowerBrownout { .. })));
+    }
+
+    #[test]
+    fn zero_domain_rates_consume_no_randomness() {
+        // With every correlated rate at its default zero, schedule_all must
+        // leave the RNG stream exactly where schedule() alone would.
+        let inj = FaultInjector::default();
+        let d = FailureDomains::for_cluster(60);
+        let horizon = SimDuration::from_hours(24 * 365);
+        let mut rng = SimRng::seed(13);
+        let all = inj.schedule_all(&d, horizon, &mut rng);
+        assert!(all.domain.is_empty());
+        let mut soc_only = SimRng::seed(13);
+        let plain = inj.schedule(60, horizon, &mut soc_only);
+        assert_eq!(all.soc, plain);
+        // Both streams advanced identically: the next draws agree.
+        assert_eq!(
+            inj.schedule(60, horizon, &mut rng),
+            inj.schedule(60, horizon, &mut soc_only)
+        );
+    }
+
+    #[test]
+    fn expected_failures_accounts_for_board_events() {
+        // Satellite regression: the per-SoC-only formula undercounts as
+        // soon as a correlated kind is enabled. Pin the corrected formula
+        // against empirical distinct-SoCs-downed counts.
+        let inj = FaultInjector {
+            board_afr: 0.5,
+            ..FaultInjector::default()
+        };
+        let d = FailureDomains::for_cluster(60);
+        let horizon = SimDuration::from_hours(24 * 365);
+        let expected = inj.expected_failures(60, horizon);
+        // The old (undercounting) formula, for contrast.
+        let per_soc_only = 60.0 * (1.0 - f64::exp(-(0.035 + 0.10 + 0.008)));
+        assert!(
+            expected > per_soc_only * 1.5,
+            "{expected} vs {per_soc_only}"
+        );
+
+        let runs = 200;
+        let mut total = 0usize;
+        for seed in 0..runs {
+            let sched = inj.schedule_all(&d, horizon, &mut SimRng::seed(seed));
+            let mut downed = [false; 60];
+            for e in &sched.soc {
+                downed[e.soc] = true;
+            }
+            for e in &sched.domain {
+                if let DomainFault::BoardDown { board } = e.fault {
+                    for soc in d.socs_of_board(board) {
+                        downed[soc] = true;
+                    }
+                }
+            }
+            total += downed.iter().filter(|&&x| x).count();
+        }
+        let mean = total as f64 / runs as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "empirical {mean} vs expected {expected}"
+        );
     }
 }

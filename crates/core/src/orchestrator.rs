@@ -3,6 +3,7 @@
 //! the paper calls for (§5.3, §8).
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use socc_hw::power::PowerState;
 use socc_sim::series::{EnergyMeter, TimeSeries};
@@ -11,6 +12,7 @@ use socc_sim::units::{Energy, Power};
 
 use crate::cluster::{ClusterConfig, SocCluster};
 use crate::placement_index::PlacementIndex;
+use crate::priority::{priority_of, Priority};
 use crate::scheduler::{BinPack, Scheduler};
 use crate::soc::Demand;
 use crate::workload::{AdmissionError, SocProcessor, WorkloadId, WorkloadSpec};
@@ -77,6 +79,10 @@ pub struct Orchestrator {
     next_id: u64,
     stats: OrchestratorStats,
     completions: Vec<WorkloadId>,
+    /// Degraded-mode admission floor: while set, submissions strictly
+    /// below this priority are rejected with [`AdmissionError::Degraded`]
+    /// (PSU brownout tightening; `None` = normal admission).
+    admission_floor: Option<Priority>,
 }
 
 impl Orchestrator {
@@ -101,6 +107,7 @@ impl Orchestrator {
             next_id: 0,
             stats: OrchestratorStats::default(),
             completions: Vec::new(),
+            admission_floor: None,
         }
     }
 
@@ -249,11 +256,67 @@ impl Orchestrator {
 
     /// Submits a workload; places it on a SoC or rejects it.
     pub fn submit(&mut self, spec: WorkloadSpec) -> Result<WorkloadId, AdmissionError> {
+        self.submit_on(spec, None)
+    }
+
+    /// Submits a workload like [`Self::submit`] but never places it inside
+    /// any of the `avoid` slot ranges — the anti-affinity path recovery
+    /// uses to keep a retried workload off its just-failed board and out
+    /// of partitioned port groups.
+    pub fn submit_avoiding(
+        &mut self,
+        spec: WorkloadSpec,
+        avoid: &[Range<usize>],
+    ) -> Result<WorkloadId, AdmissionError> {
+        self.submit_on(spec, Some(avoid))
+    }
+
+    /// While set, submissions strictly below `floor` are rejected with
+    /// [`AdmissionError::Degraded`] (brownout admission tightening).
+    pub fn set_admission_floor(&mut self, floor: Option<Priority>) {
+        self.admission_floor = floor;
+    }
+
+    /// The current degraded-mode admission floor, if any.
+    pub fn admission_floor(&self) -> Option<Priority> {
+        self.admission_floor
+    }
+
+    fn submit_on(
+        &mut self,
+        spec: WorkloadSpec,
+        avoid: Option<&[Range<usize>]>,
+    ) -> Result<WorkloadId, AdmissionError> {
+        if let Some(floor) = self.admission_floor {
+            if priority_of(&spec) < floor {
+                self.stats.rejected += 1;
+                return Err(AdmissionError::Degraded);
+            }
+        }
         let (demand, runtime) = self.demand_for(&spec)?;
-        let Some(soc) = self
-            .scheduler
-            .place_indexed(&demand, &self.cluster.socs, &self.placement)
-        else {
+        let placed_at = match avoid {
+            None => self
+                .scheduler
+                .place_indexed(&demand, &self.cluster.socs, &self.placement),
+            Some(avoid) => {
+                let got = self
+                    .placement
+                    .first_fit_outside(&demand, &self.cluster.socs, avoid);
+                debug_assert_eq!(
+                    got,
+                    self.cluster
+                        .socs
+                        .iter()
+                        .enumerate()
+                        .position(
+                            |(i, s)| !avoid.iter().any(|r| r.contains(&i)) && s.fits(&demand)
+                        ),
+                    "indexed anti-affinity decision must match the skip-scan"
+                );
+                got
+            }
+        };
+        let Some(soc) = placed_at else {
             self.stats.rejected += 1;
             return Err(AdmissionError::NoCapacity);
         };
@@ -586,6 +649,54 @@ impl Orchestrator {
     pub fn set_soc_temp(&mut self, soc: usize, temp_c: f64) {
         self.cluster.bmc.set_temp(soc, temp_c);
     }
+
+    /// Cross-checks the incrementally maintained placement index against
+    /// linear scans of the live fleet for a spread of probe demands
+    /// (placement-index invariant 2). Returns `true` when every indexed
+    /// decision is byte-identical to the scan — the chaos campaigns call
+    /// this after every fault step and treat `false` as an invariant
+    /// violation.
+    pub fn verify_placement_index(&self) -> bool {
+        let probes = [
+            Demand::default(),
+            Demand {
+                cpu_pu: 248.8,
+                net_mbps: 3.0,
+                mem_gb: 0.3,
+                ..Default::default()
+            },
+            Demand {
+                cpu_pu: socc_hw::calib::SOC_CPU_TRANSCODE_PU,
+                mem_gb: 0.5,
+                ..Default::default()
+            },
+            Demand {
+                gpu_frac: 0.125,
+                cpu_pu: 300.0,
+                net_mbps: 8.0,
+                mem_gb: 1.2,
+                ..Default::default()
+            },
+        ];
+        probes.iter().all(|d| {
+            let scan_first = self.cluster.socs.iter().position(|s| s.fits(d));
+            let scan_least = self
+                .cluster
+                .socs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.fits(d))
+                .min_by(|(_, a), (_, b)| {
+                    a.cpu_utilization()
+                        .get()
+                        .partial_cmp(&b.cpu_utilization().get())
+                        .expect("utilization is never NaN")
+                })
+                .map(|(i, _)| i);
+            self.placement.first_fit(d, &self.cluster.socs) == scan_first
+                && self.placement.least_loaded_fit(d, &self.cluster.socs) == scan_least
+        })
+    }
 }
 
 #[cfg(test)]
@@ -809,6 +920,58 @@ mod tests {
         o.advance_to(SimTime::from_secs(20));
         assert_eq!(o.take_completions(), vec![job]);
         assert!(o.take_completions().is_empty());
+    }
+
+    // `&[Range]` is the avoid-set type; one board is one range.
+    #[allow(clippy::single_range_in_vec_init)]
+    #[test]
+    fn submit_avoiding_skips_the_failed_board() {
+        let mut o = orch();
+        // Avoid board 0 (slots 0..5): the stream must land on slot 5 even
+        // though bin-pack would pick 0.
+        let id = o.submit_avoiding(live_v1(), &[0..5]).unwrap();
+        assert_eq!(o.placement_of(id), Some(5));
+        // With no ranges the decision degenerates to plain first-fit.
+        let id = o.submit_avoiding(live_v1(), &[]).unwrap();
+        assert_eq!(o.placement_of(id), Some(0));
+        // Avoiding the whole fleet rejects even with capacity everywhere.
+        assert_eq!(
+            o.submit_avoiding(live_v1(), &[0..60]).unwrap_err(),
+            AdmissionError::NoCapacity
+        );
+    }
+
+    #[test]
+    fn admission_floor_rejects_below_floor_work() {
+        use crate::priority::Priority;
+        let mut o = orch();
+        o.set_admission_floor(Some(Priority::Serving));
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        let err = o
+            .submit(WorkloadSpec::ArchiveJob { video, frames: 156 })
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::Degraded);
+        assert_eq!(o.stats().rejected, 1);
+        // At-or-above the floor still admits.
+        o.submit(live_v1()).unwrap();
+        o.set_admission_floor(None);
+        let video = socc_video::vbench::by_id("V1").unwrap();
+        o.submit(WorkloadSpec::ArchiveJob { video, frames: 156 })
+            .unwrap();
+    }
+
+    #[test]
+    fn placement_index_verifies_through_churn() {
+        let mut o = orch();
+        assert!(o.verify_placement_index());
+        let a = o.submit(live_v1()).unwrap();
+        for _ in 0..40 {
+            o.submit(live_v1()).unwrap();
+        }
+        o.fail_soc(1);
+        o.finish(a).unwrap();
+        o.restore_soc(1);
+        assert!(o.verify_placement_index());
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //!    only skipped when its minimum utilization is `>=` the best found so
 //!    far — equal can't win, smaller might.
 
+use std::ops::Range;
+
 use crate::soc::{Demand, SocUnit};
 
 /// Pruning slack added to headroom comparisons. [`SocUnit::fits`] accepts
@@ -195,6 +197,50 @@ impl PlacementIndex {
         let start = start % self.len;
         self.first_fit_at_or_after(1, 0, self.base, start, demand, socs)
             .or_else(|| self.first_fit_in(1, 0, self.base, demand, socs))
+    }
+
+    /// Lowest-index SoC *outside every `avoid` range* that fits `demand`
+    /// (the anti-affinity decision: skip a failed board's slots, skip
+    /// partitioned port groups), or `None` if nothing outside fits.
+    ///
+    /// Byte-identical to a linear scan that skips the avoided slots:
+    /// subtrees fully inside one avoided range are pruned, membership is
+    /// re-checked exactly at the leaf, and the final accept is the same
+    /// `fits` predicate as everywhere else.
+    pub fn first_fit_outside(
+        &self,
+        demand: &Demand,
+        socs: &[SocUnit],
+        avoid: &[Range<usize>],
+    ) -> Option<usize> {
+        self.first_fit_outside_in(1, 0, self.base, demand, socs, avoid)
+    }
+
+    fn first_fit_outside_in(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        demand: &Demand,
+        socs: &[SocUnit],
+        avoid: &[Range<usize>],
+    ) -> Option<usize> {
+        if lo >= self.len || !self.nodes[node].may_fit(demand) {
+            return None;
+        }
+        // Prune a subtree a single avoid range covers whole; unions that
+        // only jointly cover it fall through to the exact leaf check.
+        let end = hi.min(self.len);
+        if avoid.iter().any(|r| r.start <= lo && end <= r.end) {
+            return None;
+        }
+        if hi - lo == 1 {
+            let avoided = avoid.iter().any(|r| r.contains(&lo));
+            return (!avoided && socs[lo].fits(demand)).then_some(lo);
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.first_fit_outside_in(2 * node, lo, mid, demand, socs, avoid)
+            .or_else(|| self.first_fit_outside_in(2 * node + 1, mid, hi, demand, socs, avoid))
     }
 
     /// Fitting SoC with the minimum CPU utilization, first index winning
@@ -414,6 +460,74 @@ mod tests {
         assert_eq!(
             idx.first_fit(&half_gpu, &socs),
             linear_first_fit(&half_gpu, &socs)
+        );
+    }
+
+    fn linear_first_fit_outside(
+        demand: &Demand,
+        socs: &[SocUnit],
+        avoid: &[Range<usize>],
+    ) -> Option<usize> {
+        socs.iter()
+            .enumerate()
+            .position(|(i, s)| !avoid.iter().any(|r| r.contains(&i)) && s.fits(demand))
+    }
+
+    // `&[Range]` is this API's avoid-set type; one board is one range.
+    #[allow(clippy::single_range_in_vec_init)]
+    #[test]
+    fn outside_query_skips_avoided_board_ranges() {
+        let mut socs = fleet(20);
+        let mut idx = PlacementIndex::new(&socs);
+        let demand = d(100.0);
+        // Avoid the first board (slots 0..5): the query must land on 5.
+        let avoid = [0..5usize];
+        assert_eq!(idx.first_fit_outside(&demand, &socs, &avoid), Some(5));
+        assert_eq!(
+            idx.first_fit_outside(&demand, &socs, &avoid),
+            linear_first_fit_outside(&demand, &socs, &avoid)
+        );
+        // Fill boards 1 and 2; next fit outside the avoided board is 15.
+        for (i, soc) in socs.iter_mut().enumerate().take(15).skip(5) {
+            soc.place(&d(3235.0));
+            idx.update(i, soc);
+        }
+        assert_eq!(idx.first_fit_outside(&demand, &socs, &avoid), Some(15));
+        // Avoiding everything that still fits yields None even though the
+        // plain query succeeds.
+        let avoid_all = [0..5usize, 15..20];
+        assert_eq!(idx.first_fit_outside(&demand, &socs, &avoid_all), None);
+        assert_eq!(idx.first_fit(&demand, &socs), Some(0));
+    }
+
+    // `&[Range]` is this API's avoid-set type; one board is one range.
+    #[allow(clippy::single_range_in_vec_init)]
+    #[test]
+    fn outside_query_matches_scan_across_range_shapes() {
+        let mut socs = fleet(23); // non-power-of-two on purpose
+        socs[3].decommission();
+        socs[7].place(&d(3235.0));
+        socs[12].place(&d(3000.0));
+        let idx = PlacementIndex::new(&socs);
+        let demand = d(500.0);
+        let shapes: [&[Range<usize>]; 6] = [
+            &[],              // no avoidance: must equal first_fit
+            &[0..5],          // one board
+            &[0..20],         // a whole port group
+            &[5..10, 15..20], // disjoint boards
+            &[0..10, 10..23], // union covers everything
+            &[21..40],        // range past the end
+        ];
+        for avoid in shapes {
+            assert_eq!(
+                idx.first_fit_outside(&demand, &socs, avoid),
+                linear_first_fit_outside(&demand, &socs, avoid),
+                "avoid={avoid:?}"
+            );
+        }
+        assert_eq!(
+            idx.first_fit_outside(&demand, &socs, &[]),
+            idx.first_fit(&demand, &socs)
         );
     }
 

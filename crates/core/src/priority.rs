@@ -65,7 +65,9 @@ impl PriorityAdmission for Orchestrator {
                 id,
                 evicted: Vec::new(),
             }),
-            Err(AdmissionError::Unsupported) => Err(AdmissionError::Unsupported),
+            // Unsupported shapes can never run; a below-floor priority in a
+            // brownout must not evict its way past the floor either.
+            Err(e @ (AdmissionError::Unsupported | AdmissionError::Degraded)) => Err(e),
             Err(_) => {
                 let want = priority_of(&spec);
                 // Find victims strictly below the incoming priority, lowest

@@ -92,6 +92,9 @@ pub enum AdmissionError {
     /// The SoC software stack cannot run this combination (e.g. FP32 on
     /// the DSP, archive on MediaCodec).
     Unsupported,
+    /// The cluster is running degraded (PSU brownout) and admission is
+    /// restricted to priorities at or above the configured floor.
+    Degraded,
 }
 
 impl core::fmt::Display for AdmissionError {
@@ -100,6 +103,9 @@ impl core::fmt::Display for AdmissionError {
             AdmissionError::NoCapacity => write!(f, "no SoC has spare capacity"),
             AdmissionError::NetworkBound => write!(f, "fabric bandwidth exhausted"),
             AdmissionError::Unsupported => write!(f, "unsupported workload for this hardware"),
+            AdmissionError::Degraded => {
+                write!(f, "cluster degraded: priority below the admission floor")
+            }
         }
     }
 }

@@ -126,6 +126,27 @@ impl DvfsDomain {
         self.max_opp()
     }
 
+    /// The highest OPP whose full-load power fits within `budget`, or
+    /// `None` when even the lowest OPP exceeds it. This is the brownout
+    /// derating walk: a PSU rail failure shrinks the per-core power budget
+    /// and the governor caps itself to the best OPP still affordable.
+    pub fn opp_under_power(&self, budget: Power) -> Option<OperatingPoint> {
+        self.opps
+            .iter()
+            .rev()
+            .copied()
+            .find(|&opp| self.power_at(opp) <= budget)
+    }
+
+    /// Fraction of full-speed throughput retained when capped to the
+    /// highest OPP affordable under `budget` (frequency ratio; zero when
+    /// no OPP fits). Because power is superlinear in frequency, the
+    /// retained throughput fraction always exceeds the power fraction.
+    pub fn throughput_cap_under_power(&self, budget: Power) -> f64 {
+        self.opp_under_power(budget)
+            .map_or(0.0, |opp| opp.freq.get() / self.max_opp().freq.get())
+    }
+
     /// Energy to execute `cycles` of work under a governor, including idle
     /// leakage for the remainder of the `deadline` window.
     pub fn energy_for(
@@ -261,6 +282,22 @@ mod tests {
             .unwrap();
         assert!(report.opp.freq >= Frequency::ghz(1.5));
         assert!(report.opp.freq < gold.max_opp().freq);
+    }
+
+    #[test]
+    fn brownout_cap_keeps_superlinear_throughput() {
+        // Half the power budget retains well over half the throughput —
+        // the superlinearity that makes brownout derating preferable to
+        // killing SoCs outright.
+        let prime = DvfsDomain::kryo585_prime();
+        let full = prime.power_at(prime.max_opp());
+        let frac = prime.throughput_cap_under_power(full * 0.5);
+        assert!(frac > 0.6, "throughput fraction {frac}");
+        assert!(frac < 1.0, "a halved budget cannot keep full speed");
+        // A full budget keeps full speed; a vanishing budget keeps none.
+        assert_eq!(prime.throughput_cap_under_power(full), 1.0);
+        assert_eq!(prime.throughput_cap_under_power(Power::watts(0.01)), 0.0);
+        assert!(prime.opp_under_power(Power::watts(0.01)).is_none());
     }
 
     #[test]

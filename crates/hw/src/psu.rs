@@ -108,6 +108,17 @@ impl RedundantPsu {
     pub fn fail_module(&mut self) {
         self.healthy_modules = self.healthy_modules.saturating_sub(1);
     }
+
+    /// Returns one failed module to service (brownout over), capped at the
+    /// redundant pair.
+    pub fn repair_module(&mut self) {
+        self.healthy_modules = (self.healthy_modules + 1).min(2);
+    }
+
+    /// `true` when both modules of the pair are healthy.
+    pub fn fully_redundant(&self) -> bool {
+        self.healthy_modules >= 2
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +186,18 @@ mod tests {
             (wall_two - wall_one).abs() < 20.0,
             "{wall_two} vs {wall_one}"
         );
+    }
+
+    #[test]
+    fn repair_restores_the_pair_and_caps_there() {
+        let mut pair = RedundantPsu::cluster_default();
+        assert!(pair.fully_redundant());
+        pair.fail_module();
+        assert!(!pair.fully_redundant());
+        pair.repair_module();
+        assert!(pair.fully_redundant());
+        pair.repair_module(); // no third module exists
+        assert_eq!(pair.healthy_modules, 2);
     }
 
     #[test]

@@ -202,6 +202,24 @@ mod tests {
     }
 
     #[test]
+    fn fail_repair_round_trip_re_derives_the_identical_path() {
+        // BFS visit order is fixed by link-id order, so a repaired link
+        // yields byte-identical routes — the property `FlowNet`'s route
+        // cache relies on to hand back the same interned ids after a
+        // partition heals.
+        let (topo, a, d, ab, _) = diamond();
+        let mut routing = FailureAwareRouting::new();
+        routing.attach(&topo);
+        let before = routing.route(&topo, a, d).unwrap();
+        routing.fail(ab);
+        let detour = routing.route(&topo, a, d).unwrap();
+        assert_ne!(before, detour);
+        routing.repair(ab);
+        let after = routing.route(&topo, a, d).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
     fn pcb_uplink_failure_strands_five_socs() {
         // Killing PCB 0's uplink pair cuts SoCs 0..5 off the ESB but they
         // can still reach each other through the PCB switch.

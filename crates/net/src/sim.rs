@@ -428,7 +428,14 @@ impl FlowNet {
     /// covers membership churn).
     pub fn fail_link(&mut self, link: LinkId) -> FailureImpact {
         self.routing.fail(link);
-        self.route_cache.clear();
+        // Targeted invalidation: only cached routes crossing the failed
+        // link go stale. Negative entries (`None`) stay — a failure cannot
+        // create a path that did not exist.
+        let fairness = &self.fairness;
+        self.route_cache.retain(|_, cached| match cached {
+            Some(r) => !fairness.route_links(*r).contains(&link.0),
+            None => true,
+        });
         let mut lost_streams = Vec::new();
         let mut lost_transfers = Vec::new();
         let stream_ids: Vec<StreamId> = self.stream_order.clone();
@@ -475,7 +482,14 @@ impl FlowNet {
     /// their current routes).
     pub fn repair_link(&mut self, link: LinkId) {
         self.routing.repair(link);
-        self.route_cache.clear();
+        // Positive entries stay sticky: every surviving route runs over
+        // healthy links (failures pruned them eagerly), and a repair only
+        // adds options. Negative entries are dropped so previously
+        // unreachable pairs retry BFS through the repaired link. Pairs
+        // rerouted around the failure re-derive the identical pre-failure
+        // path on their next miss (BFS is deterministic) and interning
+        // dedups it back to the same `RouteId` — no cache churn.
+        self.route_cache.retain(|_, cached| cached.is_some());
     }
 
     /// Maximum absolute difference in bits/s between the maintained
@@ -683,6 +697,82 @@ mod tests {
         // …until the link is repaired.
         net.repair_link(LinkId(0));
         assert!(net.add_stream(a, b, DataRate::mbps(1.0)).is_ok());
+    }
+
+    fn diamond_net() -> (FlowNet, NodeId, NodeId, LinkId, LinkId) {
+        // a → b → d and a → c → d: two disjoint paths.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        let c = topo.add_node(NodeKind::Host);
+        let d = topo.add_node(NodeKind::Host);
+        let ab = topo.add_link(a, b, DataRate::gbps(1.0));
+        topo.add_link(b, d, DataRate::gbps(1.0));
+        let ac = topo.add_link(a, c, DataRate::gbps(1.0));
+        topo.add_link(c, d, DataRate::gbps(1.0));
+        (FlowNet::new(topo, TcpModel::inter_soc()), a, d, ab, ac)
+    }
+
+    #[test]
+    fn link_failure_invalidates_only_routes_crossing_it() {
+        // Diamond plus an unrelated pair e→f and an isolated node.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Host);
+        let b = topo.add_node(NodeKind::Host);
+        let c = topo.add_node(NodeKind::Host);
+        let d = topo.add_node(NodeKind::Host);
+        let e = topo.add_node(NodeKind::Host);
+        let f = topo.add_node(NodeKind::Host);
+        let lone = topo.add_node(NodeKind::Host);
+        let ab = topo.add_link(a, b, DataRate::gbps(1.0));
+        topo.add_link(b, d, DataRate::gbps(1.0));
+        topo.add_link(a, c, DataRate::gbps(1.0));
+        topo.add_link(c, d, DataRate::gbps(1.0));
+        topo.add_link(e, f, DataRate::gbps(1.0));
+        let mut net = FlowNet::new(topo, TcpModel::inter_soc());
+        net.add_stream(a, d, DataRate::mbps(10.0)).unwrap();
+        net.add_stream(e, f, DataRate::mbps(10.0)).unwrap();
+        let ef_entry = net.route_cache[&(e.0, f.0)];
+        // An unreachable pair leaves a cached negative entry.
+        assert!(net.add_stream(a, lone, DataRate::mbps(1.0)).is_err());
+        let impact = net.fail_link(ab);
+        assert!(impact.lost_streams.is_empty());
+        // Only the (a, d) route crossed the failed link; the unrelated
+        // positive entry and the negative entry survive untouched.
+        assert!(!net.route_cache.contains_key(&(a.0, d.0)));
+        assert_eq!(net.route_cache[&(e.0, f.0)], ef_entry);
+        assert_eq!(net.route_cache[&(a.0, lone.0)], None);
+    }
+
+    #[test]
+    fn unrelated_fail_repair_leaves_cached_routes_sticky() {
+        // The cached a→d route runs a→b→d (BFS takes the first path), so
+        // failing and repairing a→c must not churn it.
+        let (mut net, a, d, _ab, ac) = diamond_net();
+        net.add_stream(a, d, DataRate::mbps(10.0)).unwrap();
+        let entry = net.route_cache[&(a.0, d.0)];
+        net.fail_link(ac);
+        assert_eq!(net.route_cache[&(a.0, d.0)], entry);
+        net.repair_link(ac);
+        assert_eq!(net.route_cache[&(a.0, d.0)], entry);
+    }
+
+    #[test]
+    fn repair_after_failure_restores_the_same_interned_route_ids() {
+        let (mut net, a, d, ab, _ac) = diamond_net();
+        let s = net.add_stream(a, d, DataRate::mbps(10.0)).unwrap();
+        let before = net.route_cache[&(a.0, d.0)].expect("routable");
+        net.remove_stream(s).unwrap();
+        net.fail_link(ab);
+        net.repair_link(ab);
+        // The next lookup re-runs BFS, finds the identical pre-failure
+        // path, and interning dedups it back to the same id — downstream
+        // holders of the old RouteId stay valid across the round trip.
+        let s2 = net.add_stream(a, d, DataRate::mbps(10.0)).unwrap();
+        let after = net.route_cache[&(a.0, d.0)].expect("routable");
+        assert_eq!(before, after, "round trip must reuse the interned id");
+        let flow = net.streams[&s2].flow;
+        assert!(net.fairness.flow_links(flow).contains(&ab.0));
     }
 
     #[test]

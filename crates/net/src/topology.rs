@@ -167,6 +167,22 @@ impl ClusterFabric {
     pub fn pcb_of_soc(&self, soc_index: usize) -> usize {
         soc_index / socc_hw::calib::SOCS_PER_PCB
     }
+
+    /// Both directions of a PCB's uplink to the ESB. Failing this pair
+    /// severs the whole board's path to the fabric while every SoC's own
+    /// access link stays up — the board-level blast radius of the
+    /// failure-domain model.
+    pub fn uplinks_of_pcb(&self, pcb: usize) -> Vec<LinkId> {
+        let node = self.pcbs[pcb];
+        (0..self.topology.link_count() as u32)
+            .map(LinkId)
+            .filter(|&id| {
+                let link = self.topology.link(id);
+                (link.src == node && link.dst == self.esb)
+                    || (link.src == self.esb && link.dst == node)
+            })
+            .collect()
+    }
 }
 
 impl Topology {
@@ -282,6 +298,20 @@ mod tests {
         assert_eq!(fabric.pcb_of_soc(4), 0);
         assert_eq!(fabric.pcb_of_soc(5), 1);
         assert_eq!(fabric.pcb_of_soc(59), 11);
+    }
+
+    #[test]
+    fn uplinks_of_pcb_are_the_esb_duplex_pair() {
+        let fabric = Topology::soc_cluster(60);
+        for pcb in 0..12 {
+            let links = fabric.uplinks_of_pcb(pcb);
+            assert_eq!(links.len(), 2, "one duplex pair per PCB uplink");
+            for id in links {
+                let l = fabric.topology.link(id);
+                assert!(l.src == fabric.esb || l.dst == fabric.esb);
+                assert!(l.src == fabric.pcbs[pcb] || l.dst == fabric.pcbs[pcb]);
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn main() {
         memory_afr: base.memory_afr * accel,
         thermal_afr: base.thermal_afr * accel,
         link_afr: base.link_afr * accel,
+        ..base
     };
     let schedule = injector.schedule(60, horizon, &mut SimRng::seed(7));
     println!(

@@ -4,7 +4,7 @@
 //! restarted within the detection + backoff budget, with telemetry that
 //! matches the ground truth.
 
-use socc_cluster::faults::{FaultEvent, FaultKind};
+use socc_cluster::faults::{DomainFault, DomainFaultEvent, FaultEvent, FaultKind, FaultSchedule};
 use socc_cluster::orchestrator::OrchestratorConfig;
 use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine, WorkloadFate};
 use socc_cluster::workload::{WorkloadId, WorkloadSpec};
@@ -154,4 +154,77 @@ fn shedding_path_keeps_interactive_work_alive() {
         .filter(|r| r.fate == WorkloadFate::Shed)
         .count() as u64;
     assert_eq!(tele.counter("ft.workloads_shed"), shed);
+}
+
+#[test]
+fn board_down_evacuates_all_five_socs_and_recovers() {
+    // The correlated failure the paper's enclosure makes possible: one PCB
+    // drops and takes its five SoCs (and uplinks) down atomically. The
+    // loop must detect all five as one blast, evacuate every affected
+    // stream to surviving boards, and keep the whole cluster's books
+    // straight afterwards.
+    let mut eng = RecoveryEngine::new(OrchestratorConfig::default(), RecoveryConfig::default(), 21);
+    let video = socc_video::vbench::by_id("V1").expect("vbench V1");
+    let domains = eng.domains();
+    let victims: Vec<usize> = domains.socs_of_board(0).collect();
+    assert_eq!(victims.len(), 5, "a PCB carries five SoCs");
+
+    // 240 streams fill the first 19 SoCs at 13/SoC (BinPack) with a few on
+    // the 19th — boards 0-3 are loaded, plenty of slack further out.
+    let mut ids: Vec<WorkloadId> = Vec::new();
+    for _ in 0..240 {
+        ids.push(
+            eng.submit(WorkloadSpec::LiveStreamCpu {
+                video: video.clone(),
+            })
+            .expect("capacity"),
+        );
+    }
+
+    let schedule = FaultSchedule {
+        soc: Vec::new(),
+        domain: vec![DomainFaultEvent {
+            at: SimTime::from_secs(30),
+            fault: DomainFault::BoardDown { board: 0 },
+        }],
+    };
+    eng.run_schedule(&schedule, SimTime::from_secs(300));
+
+    let tele = eng.telemetry();
+    assert_eq!(tele.counter("ft.domain.board_down"), 1);
+    assert_eq!(tele.counter("ft.domain_faults"), 1);
+    // One blast, five casualties — each detected and each permanent.
+    assert_eq!(tele.counter("ft.faults_detected"), 5);
+    let socs = &eng.orchestrator().cluster().socs;
+    for &s in &victims {
+        assert!(!socs[s].healthy, "soc {s} stays dark with its board");
+    }
+
+    // Every stream survived: the 65 victims (5 SoCs × 13) migrated, none
+    // shed or lost, and nothing landed back on the dead board.
+    assert_eq!(tele.counter("ft.workloads_shed"), 0);
+    assert_eq!(tele.counter("ft.workloads_lost"), 0);
+    assert!(
+        tele.counter("ft.migrations") >= 65,
+        "all five SoCs' streams evacuated: {}",
+        tele.counter("ft.migrations")
+    );
+    for id in &ids {
+        assert_eq!(eng.fates()[id].fate, WorkloadFate::Running, "{id:?}");
+    }
+    assert_eq!(eng.orchestrator().active_workloads(), 240);
+    for &s in &victims {
+        assert_eq!(
+            socs[s].workload_count(),
+            0,
+            "soc {s} must hold nothing after evacuation"
+        );
+    }
+    assert!(eng.orchestrator().verify_placement_index());
+
+    // Availability accounts five SoCs' simultaneous outage but the fast
+    // detection + batched evacuation keeps it high.
+    let avail = eng.availability();
+    assert!(avail < 1.0, "the blast cost real downtime");
+    assert!(avail > 0.98, "evacuation must be prompt: {avail}");
 }

@@ -531,6 +531,72 @@ proptest! {
         }
     }
 
+    /// Domain-aware recovery: when a SoC dies with free capacity both on
+    /// its own board and off it, the soft anti-affinity must steer every
+    /// victim's retry off the failed board — co-locating a retry next to
+    /// the fault it is fleeing would put it back in the same blast radius.
+    #[test]
+    fn retry_never_lands_on_the_just_failed_board(
+        seed in 0u64..1_000,
+        // Boards 0-10 only: the boards after the target stay idle, so
+        // off-board capacity is guaranteed and the soft anti-affinity has
+        // no excuse to fall back. (For board 11 every other board would be
+        // full and falling back on-board is the correct behavior.)
+        board in 0usize..11,
+        at in 10u64..200,
+    ) {
+        let mut eng = RecoveryEngine::new(
+            OrchestratorConfig::default(),
+            RecoveryConfig::default(),
+            seed,
+        );
+        let video = socc_video::vbench::by_id("V1").expect("vbench V1");
+        // BinPack fills SoCs in index order at 13 streams each: fill every
+        // SoC of the boards before the target, then exactly the target
+        // board's first SoC. Its other four SoCs stay idle, so same-board
+        // room exists and only the anti-affinity keeps retries off it.
+        let failed_soc = board * 5;
+        let mut victims = Vec::new();
+        for i in 0..(failed_soc + 1) * 13 {
+            let id = eng
+                .submit(WorkloadSpec::LiveStreamCpu { video: video.clone() })
+                .expect("capacity");
+            prop_assert_eq!(eng.orchestrator().placement_of(id), Some(i / 13));
+            if i / 13 == failed_soc {
+                victims.push(id);
+            }
+        }
+        eng.run(
+            &[FaultEvent {
+                at: SimTime::from_secs(at),
+                soc: failed_soc,
+                kind: FaultKind::Flash,
+            }],
+            SimTime::from_secs(at + 100),
+        );
+        for id in &victims {
+            prop_assert_eq!(eng.fates()[id].fate, WorkloadFate::Running);
+            prop_assert_eq!(eng.fates()[id].migrations, 1, "exactly one migration");
+        }
+        // Re-placement gives victims fresh orchestrator ids, so check the
+        // property structurally: the failed board's other four SoCs were
+        // empty before the fault, and anti-affinity must keep them empty —
+        // every retry went to another board.
+        for s in eng.domains().socs_of_board(board) {
+            if s == failed_soc {
+                continue;
+            }
+            prop_assert_eq!(
+                eng.orchestrator().cluster().socs[s].workload_count(),
+                0,
+                "retry landed on soc {} of the failed board",
+                s
+            );
+        }
+        prop_assert_eq!(eng.telemetry().counter("ft.workloads_lost"), 0);
+        prop_assert_eq!(eng.telemetry().counter("ft.anti_affinity_fallbacks"), 0);
+    }
+
     /// Determinism: the same seed and storm produce byte-identical telemetry
     /// and the same availability, bit for bit.
     #[test]
