@@ -33,6 +33,18 @@
 //! cargo run --release -p socc-bench --bin bench -- --chaos --seed 42 --step 17
 //! ```
 //!
+//! `bench --trace` measures what structured spans cost: a recording
+//! microbenchmark under the counting allocator (both the enabled and the
+//! disabled path must be allocation-free) plus the fault-loop end-to-end
+//! scenario run spans-on vs spans-off, written as `BENCH_trace.json`.
+//! `--chrome FILE` additionally exports the spans-on event log in Chrome
+//! `trace_event` format for `about:tracing` / Perfetto:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --trace \
+//!     --out BENCH_trace.json --chrome trace.json
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
 //! baseline and exits non-zero on regression: for `--perf`, if events/sec
 //! dropped by more than 30%, the incremental path stopped being ≥5×
@@ -42,7 +54,10 @@
 //! the analytic measured phase allocated, or the analytic-vs-simulation
 //! p99 drift left its documented tolerance; for `--chaos`, if any
 //! invariant was violated, correlated availability stopped sitting below
-//! independent, or a per-class MTTR p50 regressed by more than 30%.
+//! independent, or a per-class MTTR p50 regressed by more than 30%; for
+//! `--trace`, if the spans-on overhead exceeds 10%, either recording path
+//! allocated, or the captured event count/digest drifted from the
+//! baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -51,6 +66,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
 use socc_bench::perf::{churn, comparison_json, PerfOptions};
 use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
+use socc_bench::tracebench::{trace_overhead, TraceOptions, MAX_OVERHEAD_PCT};
 
 /// Counts every heap allocation; the perf harness samples it around the
 /// measured phase to prove the hot path is allocation-free.
@@ -87,14 +103,17 @@ struct Args {
     perf: bool,
     serve: bool,
     chaos: bool,
+    trace: bool,
     flows: usize,
     events: usize,
     points: usize,
     campaigns: usize,
+    reps: usize,
     step: Option<usize>,
     seed: u64,
     out: Option<String>,
     check: Option<String>,
+    chrome: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -102,14 +121,17 @@ fn parse_args() -> Result<Args, String> {
         perf: false,
         serve: false,
         chaos: false,
+        trace: false,
         flows: 2000,
         events: 1000,
         points: 40,
         campaigns: 256,
+        reps: 9,
         step: None,
         seed: 42,
         out: None,
         check: None,
+        chrome: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -118,6 +140,13 @@ fn parse_args() -> Result<Args, String> {
             "--perf" => args.perf = true,
             "--serve" => args.serve = true,
             "--chaos" => args.chaos = true,
+            "--trace" => args.trace = true,
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--chrome" => args.chrome = Some(value("--chrome")?),
             "--campaigns" => {
                 args.campaigns = value("--campaigns")?
                     .parse()
@@ -370,6 +399,81 @@ fn run_chaos_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_trace(args: &Args) -> Result<(), String> {
+    let opts = TraceOptions {
+        reps: args.reps,
+        seed: args.seed,
+        ..TraceOptions::default()
+    };
+    let report = trace_overhead(&opts, &alloc_count);
+    let doc = socc_bench::tracebench::report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.chrome {
+        let trace = socc_bench::tracebench::chrome_trace(&opts);
+        std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    // Absolute gates — no baseline needed: spans must stay within the
+    // documented overhead budget and both recording paths must be
+    // allocation-free (the ring is sized at construction).
+    let mut failures = Vec::new();
+    if report.overhead_pct > MAX_OVERHEAD_PCT {
+        failures.push(format!(
+            "spans-on engine overhead {:.2}% exceeds {MAX_OVERHEAD_PCT}% budget",
+            report.overhead_pct
+        ));
+    }
+    if report.allocs_enabled != 0 {
+        failures.push(format!(
+            "enabled recording path allocated {} times",
+            report.allocs_enabled
+        ));
+    }
+    if report.allocs_disabled != 0 {
+        failures.push(format!(
+            "disabled recording path allocated {} times",
+            report.allocs_disabled
+        ));
+    }
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let base_events = extract(&baseline, "engine_overhead", "events_captured")
+            .ok_or("baseline missing events_captured")?;
+        if report.events_captured as f64 != base_events {
+            failures.push(format!(
+                "events captured changed: {} vs baseline {base_events:.0} — \
+                 instrumentation drifted; refresh BENCH_trace.json deliberately",
+                report.events_captured
+            ));
+        }
+        if !baseline.contains(&format!("\"digest\": \"{}\"", report.digest_hex)) {
+            failures.push(format!(
+                "event-log digest {} differs from baseline — \
+                 recorded content drifted; refresh BENCH_trace.json deliberately",
+                report.digest_hex
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "trace check ok: {:.2}% engine overhead (budget {MAX_OVERHEAD_PCT}%), {:.1} ns/event enabled, {:.1} ns/event disabled, 0 allocs both paths, {} events, digest {}",
+        report.overhead_pct,
+        report.ns_per_event_enabled,
+        report.ns_per_event_disabled,
+        report.events_captured,
+        report.digest_hex
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -378,9 +482,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf && !args.serve && !args.chaos {
+    if !args.perf && !args.serve && !args.chaos && !args.trace {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
@@ -388,6 +492,8 @@ fn main() -> ExitCode {
         run_perf(&args)
     } else if args.serve {
         run_serve(&args)
+    } else if args.trace {
+        run_trace(&args)
     } else {
         run_chaos_cmd(&args)
     };

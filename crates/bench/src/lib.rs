@@ -13,3 +13,4 @@ pub mod perf;
 pub mod repro;
 pub mod serve;
 pub mod sweep;
+pub mod tracebench;

@@ -46,6 +46,18 @@ impl FaultKind {
             FaultKind::SocHang | FaultKind::ThermalTrip | FaultKind::LinkLoss
         )
     }
+
+    /// Stable lower-case label for telemetry counters and typed trace
+    /// events.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultKind::Flash => "flash",
+            FaultKind::SocHang => "soc_hang",
+            FaultKind::Memory => "memory",
+            FaultKind::ThermalTrip => "thermal_trip",
+            FaultKind::LinkLoss => "link_loss",
+        }
+    }
 }
 
 /// A scheduled fault event.

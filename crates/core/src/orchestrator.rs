@@ -5,8 +5,10 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
+use socc_hw::ledger::EnergyLedger;
 use socc_hw::power::PowerState;
 use socc_sim::series::{EnergyMeter, TimeSeries};
+use socc_sim::span::{EventKind, EventLog, Scope};
 use socc_sim::time::{SimDuration, SimTime};
 use socc_sim::units::{Energy, Power};
 
@@ -83,7 +85,22 @@ pub struct Orchestrator {
     /// below this priority are rejected with [`AdmissionError::Degraded`]
     /// (PSU brownout tightening; `None` = normal admission).
     admission_floor: Option<Priority>,
+    /// Per-component energy ledger with PCB-board and PSU-rail roll-ups;
+    /// its conservation identity is re-checked on every clock advance.
+    ledger: EnergyLedger,
+    /// Typed structured event log (placements, migrations, power
+    /// transitions, faults) shared with the recovery engine.
+    events: EventLog,
 }
+
+/// Retained-event capacity of the orchestrator's ring (oldest events are
+/// evicted first; `events().dropped()` counts evictions).
+const EVENT_CAPACITY: usize = 8192;
+
+/// Relative tolerance of the per-tick energy-conservation check (the
+/// ledger's rail roll-up is incremental, so only float roundoff — not
+/// modelling error — may separate component-sum from rail-sum energy).
+const CONSERVATION_REL_TOL: f64 = 1e-6;
 
 impl Orchestrator {
     /// Creates an orchestrator over a fresh cluster.
@@ -94,6 +111,16 @@ impl Orchestrator {
         let mut power_series = TimeSeries::new();
         power_series.push(SimTime::ZERO, initial_power.as_watts());
         let placement = PlacementIndex::new(&cluster.socs);
+        let mut ledger = EnergyLedger::new(
+            SimTime::ZERO,
+            soc_count,
+            socc_hw::calib::SOCS_PER_PCB,
+            crate::faults::PSU_RAILS,
+        );
+        for (i, soc) in cluster.socs.iter().enumerate() {
+            ledger.set_soc_power(SimTime::ZERO, i, soc.component_powers());
+        }
+        ledger.set_chassis_power(SimTime::ZERO, cluster.chassis_power());
         Self {
             cluster,
             scheduler: config.scheduler,
@@ -108,6 +135,8 @@ impl Orchestrator {
             stats: OrchestratorStats::default(),
             completions: Vec::new(),
             admission_floor: None,
+            ledger,
+            events: EventLog::new(EVENT_CAPACITY),
         }
     }
 
@@ -147,6 +176,32 @@ impl Orchestrator {
         &self.power_series
     }
 
+    /// The per-component energy ledger (CPU/codec/GPU/DSP/memory per SoC,
+    /// rolled up to PCB boards and PSU rails).
+    pub fn energy_ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Re-checks the ledger's conservation identity at the current clock:
+    /// component-sum energy must equal PSU-rail-sum energy within
+    /// `rel_tol`. Returns the observed relative error on failure.
+    pub fn verify_energy_conservation(&self, rel_tol: f64) -> Result<(), f64> {
+        self.ledger.verify_conservation(self.now, rel_tol)
+    }
+
+    /// The typed structured event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Mutable event-log access: enable/disable recording, restrict
+    /// scopes, clear, or record additional events (the recovery engine
+    /// threads its fault/detector/recovery chain through here so one log
+    /// carries the whole causal story).
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.events
+    }
+
     /// Number of currently deployed workloads.
     pub fn active_workloads(&self) -> usize {
         self.workloads.len()
@@ -156,6 +211,12 @@ impl Orchestrator {
         let p = self.cluster.total_power();
         self.meter.set_power(self.now, p);
         self.power_series.push(self.now, p.as_watts());
+        for i in 0..self.cluster.socs.len() {
+            self.ledger
+                .set_soc_power(self.now, i, self.cluster.socs[i].component_powers());
+        }
+        self.ledger
+            .set_chassis_power(self.now, self.cluster.chassis_power());
     }
 
     /// Re-summarizes one SoC in the placement index. Every code path that
@@ -327,12 +388,22 @@ impl Orchestrator {
         if !self.cluster.socs[soc].state.is_serving() {
             self.stats.wakeups += 1;
             self.cluster.bmc.log(self.now, format!("wake soc {soc}"));
+            self.events
+                .record(self.now, Scope::Power, EventKind::Wake { soc: soc as u32 });
         }
         self.cluster.socs[soc].place(&demand);
         self.reindex(soc);
         self.idle_since[soc] = None;
         let id = WorkloadId(self.next_id);
         self.next_id += 1;
+        self.events.record(
+            self.now,
+            Scope::Placement,
+            EventKind::Placed {
+                workload: id.0,
+                soc: soc as u32,
+            },
+        );
         let completes = runtime.map(|d| self.now + d);
         self.workloads.insert(
             id,
@@ -374,6 +445,14 @@ impl Orchestrator {
         self.release(&placed);
         self.stats.completed += 1;
         self.completions.push(id);
+        self.events.record(
+            self.now,
+            Scope::Placement,
+            EventKind::Finished {
+                workload: id.0,
+                soc: placed.soc as u32,
+            },
+        );
         self.record_power();
         Ok(())
     }
@@ -479,6 +558,14 @@ impl Orchestrator {
                 self.release(&placed);
                 self.stats.completed += 1;
                 self.completions.push(id);
+                self.events.record(
+                    self.now,
+                    Scope::Placement,
+                    EventKind::Finished {
+                        workload: id.0,
+                        soc: placed.soc as u32,
+                    },
+                );
             }
             // Sleep transitions due now.
             if let Some(after) = self.sleep_after {
@@ -490,6 +577,11 @@ impl Orchestrator {
                     {
                         soc.state = PowerState::Sleep;
                         self.cluster.bmc.log(event_time, format!("sleep soc {i}"));
+                        self.events.record(
+                            event_time,
+                            Scope::Power,
+                            EventKind::Sleep { soc: i as u32 },
+                        );
                     }
                 }
             }
@@ -498,6 +590,13 @@ impl Orchestrator {
         self.now = t;
         self.cluster.step_thermal(t.saturating_since(start));
         self.cluster.refresh_bmc();
+        // Energy-conservation tick: the per-component ledger and the
+        // incrementally maintained PSU-rail roll-up must tell the same
+        // story. A bookkeeping bug on either side fails loudly here.
+        self.ledger.advance(t);
+        if let Err(rel) = self.ledger.verify_conservation(t, CONSERVATION_REL_TOL) {
+            panic!("energy ledger conservation violated at {t}: relative error {rel:.3e}");
+        }
     }
 
     /// Kills a SoC (flash/SoC failure, §8) and migrates its workloads to
@@ -511,6 +610,11 @@ impl Orchestrator {
         self.cluster
             .bmc
             .log(self.now, format!("fault: soc {soc} offline"));
+        self.events.record(
+            self.now,
+            Scope::Fault,
+            EventKind::SocOff { soc: soc as u32 },
+        );
         let victims: Vec<WorkloadId> = self
             .workloads
             .iter()
@@ -539,6 +643,14 @@ impl Orchestrator {
                         self.now,
                         format!("migrated workload {} to soc {target}", id.0),
                     );
+                    self.events.record(
+                        self.now,
+                        Scope::Recovery,
+                        EventKind::Migrated {
+                            workload: id.0,
+                            soc: target as u32,
+                        },
+                    );
                     self.workloads.insert(id, placed);
                 }
                 _ => {
@@ -546,6 +658,11 @@ impl Orchestrator {
                     self.cluster
                         .bmc
                         .log(self.now, format!("dropped workload {}", id.0));
+                    self.events.record(
+                        self.now,
+                        Scope::Recovery,
+                        EventKind::WorkloadDropped { workload: id.0 },
+                    );
                 }
             }
         }
@@ -567,6 +684,11 @@ impl Orchestrator {
         self.cluster
             .bmc
             .log(self.now, format!("fault: soc {soc} out of service"));
+        self.events.record(
+            self.now,
+            Scope::Fault,
+            EventKind::SocOff { soc: soc as u32 },
+        );
         let mut victims: Vec<WorkloadId> = self
             .workloads
             .iter()
@@ -596,6 +718,11 @@ impl Orchestrator {
         self.cluster
             .bmc
             .log(self.now, format!("soc {soc} restored to service"));
+        self.events.record(
+            self.now,
+            Scope::Recovery,
+            EventKind::SocRestored { soc: soc as u32 },
+        );
         self.record_power();
         true
     }
@@ -626,6 +753,11 @@ impl Orchestrator {
                         self.cluster
                             .bmc
                             .log(self.now, format!("bmc: soc {soc} powered off"));
+                        self.events.record(
+                            self.now,
+                            Scope::Power,
+                            EventKind::SocOff { soc: soc as u32 },
+                        );
                         applied += 1;
                     }
                 }

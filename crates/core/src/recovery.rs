@@ -21,8 +21,8 @@ use socc_net::failure::FailureAwareRouting;
 use socc_net::topology::{ClusterFabric, Topology};
 use socc_sim::event::EventQueue;
 use socc_sim::rng::SimRng;
+use socc_sim::span::{EventKind, EventLog, Scope};
 use socc_sim::time::{SimDuration, SimTime};
-use socc_sim::trace::{Level, Trace};
 
 use crate::bmc::{encode_command, BmcCommand};
 use crate::detector::{access_links, classify, DetectedClass, HeartbeatMonitor};
@@ -143,7 +143,6 @@ pub struct RecoveryEngine {
     queue: EventQueue<Action>,
     rng: SimRng,
     telemetry: TelemetrySink,
-    trace: Trace,
     fates: BTreeMap<WorkloadId, FateRecord>,
     /// Maps the orchestrator's *current* id of a workload to the original
     /// id it was submitted under (migrations re-submit under fresh ids).
@@ -190,7 +189,6 @@ impl RecoveryEngine {
             queue: EventQueue::new(),
             rng: SimRng::seed(seed).split("recovery-jitter"),
             telemetry: TelemetrySink::new(),
-            trace: Trace::new(8192, Level::Debug),
             fates: BTreeMap::new(),
             alias: HashMap::new(),
             pending: vec![Vec::new(); socs],
@@ -231,9 +229,18 @@ impl RecoveryEngine {
         &self.telemetry
     }
 
-    /// The trace of detection/recovery events.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The typed structured event log carrying the whole causal chain
+    /// (fault → detect → classify → retry/migrate/shed), shared with the
+    /// wrapped orchestrator's placement and power events.
+    pub fn events(&self) -> &EventLog {
+        self.orch.events()
+    }
+
+    /// Enables or disables structured-event recording. Disabled recording
+    /// costs one branch per would-be event — the `bench --trace` harness
+    /// measures exactly this spans-on vs spans-off difference.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.orch.events_mut().set_enabled(enabled);
     }
 
     /// The workload ledger, keyed by original submission id.
@@ -379,21 +386,18 @@ impl RecoveryEngine {
         self.telemetry.add("ft.faults_injected", 1);
         let soc = e.soc;
         if self.silent[soc] || !self.orch.cluster().socs[soc].healthy {
-            self.trace.record(
-                now,
-                Level::Debug,
-                "fault",
-                format!("soc {soc} already down; {:?} ignored", e.kind),
-            );
+            // Already down: the fault changes nothing and records nothing.
             return;
         }
         self.silent[soc] = true;
         self.down_at[soc] = Some(now);
-        self.trace.record(
+        self.orch.events_mut().record(
             now,
-            Level::Error,
-            "fault",
-            format!("soc {soc}: {:?} struck", e.kind),
+            Scope::Fault,
+            EventKind::FaultInjected {
+                soc: soc as u32,
+                kind: e.kind.label(),
+            },
         );
         match e.kind {
             FaultKind::Flash | FaultKind::Memory => {
@@ -440,11 +444,13 @@ impl RecoveryEngine {
         match fault {
             DomainFault::BoardDown { board } => {
                 self.telemetry.add("ft.domain.board_down", 1);
-                self.trace.record(
+                self.orch.events_mut().record(
                     now,
-                    Level::Error,
-                    "fault",
-                    format!("board {board} down: 5 SoCs and uplink failed atomically"),
+                    Scope::Fault,
+                    EventKind::DomainFaultInjected {
+                        domain: "board_down",
+                        index: board as u32,
+                    },
                 );
                 for link in self.fabric.uplinks_of_pcb(board) {
                     self.routing.fail(link);
@@ -465,11 +471,20 @@ impl RecoveryEngine {
                     return;
                 }
                 self.partitioned_groups[group] = true;
-                self.trace.record(
+                self.orch.events_mut().record(
                     now,
-                    Level::Error,
-                    "fault",
-                    format!("ESB port group {group} dark for {duration}"),
+                    Scope::Fault,
+                    EventKind::DomainFaultInjected {
+                        domain: "partition",
+                        index: group as u32,
+                    },
+                );
+                self.orch.events_mut().record(
+                    now,
+                    Scope::Fault,
+                    EventKind::PartitionStarted {
+                        group: group as u32,
+                    },
                 );
                 for board in self.domains.boards_of_port_group(group) {
                     for link in self.fabric.uplinks_of_pcb(board) {
@@ -499,14 +514,25 @@ impl RecoveryEngine {
                 let dvfs = DvfsDomain::kryo585_prime();
                 let budget = dvfs.power_at(dvfs.max_opp()) * ratio;
                 let frac = dvfs.throughput_cap_under_power(budget);
-                self.trace.record(
+                self.orch.events_mut().record(
                     now,
-                    Level::Error,
-                    "fault",
-                    format!(
-                        "psu rail {rail} browned out: DVFS capped to {:.0}% throughput",
-                        frac * 100.0
-                    ),
+                    Scope::Fault,
+                    EventKind::DomainFaultInjected {
+                        domain: "brownout",
+                        index: rail as u32,
+                    },
+                );
+                self.orch.events_mut().record(
+                    now,
+                    Scope::Fault,
+                    EventKind::BrownoutStarted { rail: rail as u32 },
+                );
+                self.orch.events_mut().record(
+                    now,
+                    Scope::Power,
+                    EventKind::DvfsCapped {
+                        permille: (frac * 1000.0).round() as u32,
+                    },
                 );
                 // Degraded mode: tighten admission to Serving and above,
                 // then shed batch work until the derated envelope fits.
@@ -560,11 +586,10 @@ impl RecoveryEngine {
                 rec.out_since = Some(now);
             }
             self.telemetry.add("ft.workloads_shed", 1);
-            self.trace.record(
+            self.orch.events_mut().record(
                 now,
-                Level::Warn,
-                "recovery",
-                format!("workload {} shed for the brownout envelope", orig.0),
+                Scope::Recovery,
+                EventKind::WorkloadShed { workload: orig.0 },
             );
         }
     }
@@ -580,10 +605,17 @@ impl RecoveryEngine {
             // Only SoCs the partition silenced return here; ones that died
             // behind it (crash, board down) stay down.
             if self.silent[soc] && self.orch.cluster().socs[soc].healthy {
-                self.return_to_service(soc, now, "partition healed");
+                self.return_to_service(soc, now);
             }
         }
         self.telemetry.add("ft.partitions_healed", 1);
+        self.orch.events_mut().record(
+            now,
+            Scope::Recovery,
+            EventKind::PartitionHealed {
+                group: group as u32,
+            },
+        );
     }
 
     fn on_brownout_ended(&mut self, rail: usize, now: SimTime) {
@@ -592,11 +624,10 @@ impl RecoveryEngine {
             self.orch.set_admission_floor(None);
         }
         self.telemetry.add("ft.brownouts_ended", 1);
-        self.trace.record(
+        self.orch.events_mut().record(
             now,
-            Level::Info,
-            "recovery",
-            format!("psu rail {rail} restored; admission floor lifted"),
+            Scope::Recovery,
+            EventKind::BrownoutEnded { rail: rail as u32 },
         );
     }
 
@@ -646,15 +677,18 @@ impl RecoveryEngine {
                 .add(&format!("ft.detected.{}", class.label()), 1);
             self.telemetry
                 .observe("ft.detection_ms", now.since(fault_at).as_millis_f64());
-            self.trace.record(
+            self.orch.events_mut().record(
                 now,
-                Level::Warn,
-                "detector",
-                format!(
-                    "soc {soc} silent for >{}; classified {}",
-                    self.monitor.window(),
-                    class.label()
-                ),
+                Scope::Detector,
+                EventKind::FaultDetected { soc: soc as u32 },
+            );
+            self.orch.events_mut().record(
+                now,
+                Scope::Detector,
+                EventKind::FaultClassified {
+                    soc: soc as u32,
+                    class: class.label(),
+                },
             );
             if class == DetectedClass::Partitioned {
                 // The BMC side channel says the SoC is powered and healthy:
@@ -690,11 +724,10 @@ impl RecoveryEngine {
                     let _ = self.orch.bmc_frame(&off);
                     self.orch.apply_bmc_state_changes();
                     self.telemetry.add("ft.power_cycles", 1);
-                    self.trace.record(
+                    self.orch.events_mut().record(
                         now,
-                        Level::Info,
-                        "recovery",
-                        format!("soc {soc}: power cycle issued"),
+                        Scope::Recovery,
+                        EventKind::PowerCycleIssued { soc: soc as u32 },
                     );
                     self.queue.schedule(
                         now + self.config.power_cycle_time,
@@ -703,6 +736,11 @@ impl RecoveryEngine {
                 }
                 DetectedClass::ThermalTrip => {
                     self.telemetry.add("ft.cooldowns", 1);
+                    self.orch.events_mut().record(
+                        now,
+                        Scope::Recovery,
+                        EventKind::CooldownStarted { soc: soc as u32 },
+                    );
                     self.queue.schedule(
                         now + self.config.thermal_cooldown,
                         Action::CooldownDone(soc),
@@ -710,6 +748,11 @@ impl RecoveryEngine {
                 }
                 DetectedClass::LinkLoss => {
                     self.telemetry.add("ft.link_repairs", 1);
+                    self.orch.events_mut().record(
+                        now,
+                        Scope::Recovery,
+                        EventKind::LinkRepairStarted { soc: soc as u32 },
+                    );
                     self.queue.schedule(
                         now + self.config.link_repair_time,
                         Action::LinkRepaired(soc),
@@ -796,14 +839,13 @@ impl RecoveryEngine {
             Ok(new_id) => self.settle(original, new_id, fault_at, now, class),
             Err(_) if attempt <= self.config.max_retries => {
                 let delay = self.backoff(attempt);
-                self.trace.record(
+                self.orch.events_mut().record(
                     now,
-                    Level::Debug,
-                    "recovery",
-                    format!(
-                        "workload {}: no room (attempt {attempt}), retrying in {delay}",
-                        original.0
-                    ),
+                    Scope::Recovery,
+                    EventKind::RetryScheduled {
+                        workload: original.0,
+                        attempt,
+                    },
                 );
                 self.queue.schedule(
                     now + delay,
@@ -829,11 +871,10 @@ impl RecoveryEngine {
                                 rec.out_since = Some(now);
                             }
                             self.telemetry.add("ft.workloads_shed", 1);
-                            self.trace.record(
+                            self.orch.events_mut().record(
                                 now,
-                                Level::Warn,
-                                "recovery",
-                                format!("workload {} shed to make room", orig.0),
+                                Scope::Recovery,
+                                EventKind::WorkloadShed { workload: orig.0 },
                             );
                         }
                         self.settle(original, adm.id, fault_at, now, class);
@@ -844,11 +885,12 @@ impl RecoveryEngine {
                             rec.out_since = rec.out_since.or(Some(fault_at));
                         }
                         self.telemetry.add("ft.workloads_lost", 1);
-                        self.trace.record(
+                        self.orch.events_mut().record(
                             now,
-                            Level::Error,
-                            "recovery",
-                            format!("workload {} lost: nowhere to place it", original.0),
+                            Scope::Recovery,
+                            EventKind::WorkloadLost {
+                                workload: original.0,
+                            },
                         );
                     }
                 }
@@ -879,15 +921,14 @@ impl RecoveryEngine {
             &format!("ft.mttr_ms.{}", class.label()),
             outage.as_millis_f64(),
         );
-        self.trace.record(
+        let target = self.orch.placement_of(new_id).unwrap_or(usize::MAX);
+        self.orch.events_mut().record(
             now,
-            Level::Info,
-            "recovery",
-            format!(
-                "workload {} re-placed after {outage} (soc {:?})",
-                original.0,
-                self.orch.placement_of(new_id)
-            ),
+            Scope::Recovery,
+            EventKind::Migrated {
+                workload: original.0,
+                soc: target as u32,
+            },
         );
     }
 
@@ -899,14 +940,14 @@ impl RecoveryEngine {
         ));
         let _ = self.orch.bmc_frame(&on);
         self.orch.apply_bmc_state_changes();
-        self.return_to_service(soc, now, "power cycle complete");
+        self.return_to_service(soc, now);
     }
 
     fn on_cooldown_done(&mut self, soc: usize, now: SimTime) {
         self.tripped[soc] = false;
         self.orch.set_soc_temp(soc, 40.0);
         self.orch.restore_soc(soc);
-        self.return_to_service(soc, now, "cooled down");
+        self.return_to_service(soc, now);
     }
 
     fn on_link_repaired(&mut self, soc: usize, now: SimTime) {
@@ -914,20 +955,18 @@ impl RecoveryEngine {
             self.routing.repair(link);
         }
         self.orch.restore_soc(soc);
-        self.return_to_service(soc, now, "link repaired");
+        self.return_to_service(soc, now);
     }
 
-    fn return_to_service(&mut self, soc: usize, now: SimTime, why: &str) {
+    /// Clears ground-truth silence and heartbeat state after remediation.
+    /// The orchestrator records the `SocRestored` event on the restore
+    /// paths that actually re-commission the slot; a partition heal (the
+    /// SoC never left service) records `PartitionHealed` instead.
+    fn return_to_service(&mut self, soc: usize, now: SimTime) {
         self.silent[soc] = false;
         self.down_at[soc] = None;
         self.monitor.clear(soc, now);
         self.telemetry.add("ft.socs_restored", 1);
-        self.trace.record(
-            now,
-            Level::Info,
-            "recovery",
-            format!("soc {soc} back in service: {why}"),
-        );
     }
 
     /// Closes the books at the horizon: anything still out of service eats

@@ -1,6 +1,7 @@
 //! Per-SoC runtime state: load accounting, power states, health.
 
 use serde::{Deserialize, Serialize};
+use socc_hw::ledger::ComponentPowers;
 use socc_hw::power::{PowerState, Utilization};
 use socc_hw::spec::SocSpec;
 use socc_sim::units::Power;
@@ -176,36 +177,48 @@ impl SocUnit {
         self.active_workloads == 0
     }
 
-    /// Total electrical power of the SoC in its current state.
-    pub fn total_power(&self) -> Power {
+    /// Per-component power breakdown of the SoC in its current state —
+    /// the instantaneous values the energy ledger integrates.
+    pub fn component_powers(&self) -> ComponentPowers {
         match self.state {
-            PowerState::Off => Power::ZERO,
-            PowerState::Sleep => {
-                self.spec.cpu.power(PowerState::Sleep, Utilization::ZERO)
-                    + self.spec.memory.power(PowerState::Sleep, Utilization::ZERO)
-            }
+            PowerState::Off => ComponentPowers::ZERO,
+            PowerState::Sleep => ComponentPowers {
+                cpu: self.spec.cpu.power(PowerState::Sleep, Utilization::ZERO),
+                memory: self.spec.memory.power(PowerState::Sleep, Utilization::ZERO),
+                ..ComponentPowers::ZERO
+            },
             PowerState::Idle | PowerState::Active => {
                 let state = self.state;
-                let cpu = self.spec.cpu.power(state, self.cpu_utilization());
                 let codec_util = Utilization::from_ratio(
                     self.used.codec_mb_s,
                     self.spec.codec.throughput_mb_per_s,
                 );
-                let codec = self.spec.codec.power(state, codec_util);
-                let gpu = self
-                    .spec
-                    .gpu
-                    .power(state, Utilization::new(self.used.gpu_frac));
-                let dsp = self
-                    .spec
-                    .dsp
-                    .power(state, Utilization::new(self.used.dsp_frac));
                 let mem_util =
                     Utilization::from_ratio(self.used.mem_gb, self.spec.memory.capacity_gb);
-                let mem = self.spec.memory.power(state, mem_util);
-                cpu + codec + gpu + dsp + mem
+                ComponentPowers {
+                    cpu: self.spec.cpu.power(state, self.cpu_utilization()),
+                    codec: self.spec.codec.power(state, codec_util),
+                    gpu: self
+                        .spec
+                        .gpu
+                        .power(state, Utilization::new(self.used.gpu_frac)),
+                    dsp: self
+                        .spec
+                        .dsp
+                        .power(state, Utilization::new(self.used.dsp_frac)),
+                    memory: self.spec.memory.power(state, mem_util),
+                }
             }
         }
+    }
+
+    /// Total electrical power of the SoC in its current state.
+    ///
+    /// Exactly [`ComponentPowers::total`] of [`Self::component_powers`]:
+    /// the component-wise sum uses the same accumulation order this
+    /// method always used, so the meter and the ledger agree bit-for-bit.
+    pub fn total_power(&self) -> Power {
+        self.component_powers().total()
     }
 
     /// Idle-floor power of an awake, empty SoC (the baseline the paper's
@@ -325,6 +338,32 @@ mod tests {
         };
         assert!(phys.fits(&d));
         assert!(!virt.fits(&d));
+    }
+
+    #[test]
+    fn component_powers_total_is_bit_identical_across_states() {
+        let mut soc = SocUnit::new(0, DeploymentMode::Physical);
+        let d = Demand {
+            cpu_pu: 1500.0,
+            codec_mb_s: 1.0e6,
+            codec_sessions: 2,
+            gpu_frac: 0.3,
+            dsp_frac: 0.2,
+            mem_gb: 4.0,
+            net_mbps: 100.0,
+        };
+        soc.place(&d);
+        for state in [
+            PowerState::Active,
+            PowerState::Idle,
+            PowerState::Sleep,
+            PowerState::Off,
+        ] {
+            soc.state = state;
+            let total = soc.total_power().as_watts();
+            let sum = soc.component_powers().total().as_watts();
+            assert_eq!(total.to_bits(), sum.to_bits(), "{state:?}");
+        }
     }
 
     #[test]

@@ -30,11 +30,13 @@ impl TelemetrySink {
         self.inner.lock().counter(name).add(delta);
     }
 
-    /// Sets a gauge, keeping the maximum across reports.
+    /// Sets a gauge, keeping the maximum across reports. The first report
+    /// always lands, so all-negative series keep their true peak instead of
+    /// losing against the default gauge value of zero.
     pub fn gauge_max(&self, name: &str, value: f64) {
         let mut reg = self.inner.lock();
-        let current = reg.gauge_value(name);
-        if value > current {
+        let never_set = reg.gauge_ref(name).is_none();
+        if never_set || value > reg.gauge_value(name) {
             reg.gauge(name).set(value);
         }
     }
@@ -142,6 +144,20 @@ mod tests {
         sink.gauge_max("p", 4.0);
         sink.gauge_max("p", 12.0);
         assert_eq!(sink.gauge("p"), 12.0);
+    }
+
+    #[test]
+    fn gauge_max_records_negative_peaks() {
+        // Regression: the comparison used to start from the default gauge
+        // value of 0.0, so a series that never crossed zero (headroom
+        // deficits, sub-ambient temperature deltas) recorded nothing.
+        let sink = TelemetrySink::new();
+        sink.gauge_max("margin", -5.0);
+        assert_eq!(sink.gauge("margin"), -5.0);
+        sink.gauge_max("margin", -2.0);
+        assert_eq!(sink.gauge("margin"), -2.0);
+        sink.gauge_max("margin", -7.0);
+        assert_eq!(sink.gauge("margin"), -2.0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`spec`]: Table 1 platform specifications;
 //! - [`generations`]: the six Snapdragon generations of the longitudinal
 //!   study (§7, Table 6, Fig. 14);
+//! - [`ledger`]: the per-component energy ledger with board/PSU-rail
+//!   roll-ups and the conservation cross-check;
 //! - [`microbench`]: the Geekbench-style model behind Table 2;
 //! - [`calib`]: every numeric anchor taken from the paper, with citations.
 //!
@@ -37,6 +39,7 @@ pub mod dsp;
 pub mod dvfs;
 pub mod generations;
 pub mod gpu;
+pub mod ledger;
 pub mod memory;
 pub mod microbench;
 pub mod power;

@@ -11,6 +11,8 @@
 //!   [`Energy`], [`DataRate`], …);
 //! - [`metrics`] / [`series`] / [`stats`]: telemetry primitives, time-series
 //!   integration (energy accounting) and descriptive statistics;
+//! - [`span`]: typed structured events and spans with bounded memory,
+//!   scope filtering and JSONL / Chrome-trace exporters;
 //! - [`report`]: aligned text tables for the reproduction harness.
 //!
 //! # Examples
@@ -36,6 +38,7 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod series;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -43,5 +46,6 @@ pub mod units;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
+pub use span::{Event, EventKind, EventLog, Scope, SpanId};
 pub use time::{SimDuration, SimTime};
 pub use units::{DataRate, DataSize, Energy, Frequency, Power};

@@ -248,6 +248,14 @@ impl MetricRegistry {
         self.gauges.get(name).map_or(0.0, Gauge::get)
     }
 
+    /// Reads a gauge, if one has been registered under `name`. Unlike
+    /// [`MetricRegistry::gauge_value`] this distinguishes "never set"
+    /// from "set to zero", which max-tracking callers need to seed
+    /// correctly from negative first samples.
+    pub fn gauge_ref(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
     /// Iterates all `(name, value)` counter pairs in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))

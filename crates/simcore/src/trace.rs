@@ -4,6 +4,12 @@
 //! migrations, power transitions) so tests and post-mortems can replay the
 //! causal chain without println-debugging. The log is a ring buffer —
 //! long simulations keep the most recent window.
+//!
+//! This module keeps free-form, formatted string messages for ad-hoc
+//! experiment logging. Hot-path instrumentation (orchestrator, recovery
+//! engine, network simulator) uses the typed, allocation-free
+//! [`crate::span`] event log instead — prefer that for anything a test
+//! needs to assert on.
 
 use core::fmt;
 

@@ -1,7 +1,8 @@
 //! Transcode session accounting: time, frames, energy and traffic.
 
 use serde::{Deserialize, Serialize};
-use socc_sim::time::SimDuration;
+use socc_sim::span::{EventKind, EventLog, Scope};
+use socc_sim::time::{SimDuration, SimTime};
 use socc_sim::units::{DataRate, DataSize, Energy};
 
 use crate::backend::TranscodeUnit;
@@ -131,6 +132,26 @@ pub fn plan_session(
     }
 }
 
+/// [`plan_session`] wrapped in a [`Scope::Video`] span: records
+/// `span_begin`/`span_end` plus a `session_planned` event carrying the
+/// planned frame count (0 when planning fails) into `log` at sim time
+/// `at`. Free when the log is disabled.
+pub fn plan_session_traced(
+    unit: TranscodeUnit,
+    video: &VideoMeta,
+    kind: SessionKind,
+    concurrent: usize,
+    log: &mut EventLog,
+    at: SimTime,
+) -> Result<SessionReport, SessionError> {
+    let span = log.begin_span(at, Scope::Video, "plan_session");
+    let result = plan_session(unit, video, kind, concurrent);
+    let frames = result.as_ref().map_or(0, |r| r.frames);
+    log.record(at, Scope::Video, EventKind::SessionPlanned { frames });
+    log.end_span(at, Scope::Video, span, "plan_session");
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +173,31 @@ mod tests {
         assert_eq!(r.frames, 300);
         assert!(r.energy.as_joules() > 0.0);
         assert!(r.psnr_db > 30.0);
+    }
+
+    #[test]
+    fn traced_plan_emits_span_and_event() {
+        let v = vbench::by_id("V1").unwrap();
+        let mut log = EventLog::new(16);
+        let r = plan_session_traced(
+            TranscodeUnit::SocCpu,
+            &v,
+            SessionKind::Archive { frames: 290 },
+            1,
+            &mut log,
+            SimTime::from_secs(5),
+        )
+        .unwrap();
+        let names: Vec<&str> = log.events().map(|e| e.kind.name()).collect();
+        assert_eq!(names, ["span_begin", "session_planned", "span_end"]);
+        let planned = log
+            .events()
+            .find_map(|e| match e.kind {
+                EventKind::SessionPlanned { frames } => Some(frames),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(planned, r.frames);
     }
 
     #[test]

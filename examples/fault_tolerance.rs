@@ -15,8 +15,8 @@ use socc_cluster::orchestrator::OrchestratorConfig;
 use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine, WorkloadFate};
 use socc_cluster::workload::WorkloadSpec;
 use socc_sim::rng::SimRng;
+use socc_sim::span::Scope;
 use socc_sim::time::{SimDuration, SimTime};
-use socc_sim::trace::Level;
 
 fn main() {
     let mut engine =
@@ -62,9 +62,14 @@ fn main() {
 
     engine.run(&schedule, SimTime::ZERO + horizon);
 
-    println!("recovery-loop trace (warnings and errors):");
-    for entry in engine.trace().at_least(Level::Warn) {
-        println!("  {entry}");
+    println!("structured fault/recovery events (first 40):");
+    for event in engine
+        .events()
+        .events()
+        .filter(|e| matches!(e.scope, Scope::Fault | Scope::Recovery))
+        .take(40)
+    {
+        println!("  {event}");
     }
 
     println!("\ntelemetry after the run:");

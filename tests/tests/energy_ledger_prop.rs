@@ -1,0 +1,199 @@
+//! Property-based tests of the per-component energy ledger: under any
+//! interleaving of DVFS-driven power changes, chassis updates, and
+//! non-aligned read times, the demand side (per-component SoC energies
+//! plus chassis) and the supply side (PSU-rail energies) integrate to the
+//! same total, and cumulative energy never runs backwards.
+
+use proptest::prelude::*;
+use socc_cluster::faults::{
+    DomainFault, DomainFaultEvent, FaultEvent, FaultKind, FaultSchedule, PSU_RAILS,
+};
+use socc_cluster::orchestrator::OrchestratorConfig;
+use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine};
+use socc_cluster::workload::WorkloadSpec;
+use socc_hw::calib::SOCS_PER_PCB;
+use socc_hw::ledger::{Component, ComponentPowers, EnergyLedger};
+use socc_sim::time::{SimDuration, SimTime};
+use socc_sim::units::Power;
+
+/// Conservation tolerance: component sum ≡ rail total to 1e-6 relative.
+const REL_TOL: f64 = 1e-6;
+
+fn powers(w: &(f64, f64, f64, f64, f64)) -> ComponentPowers {
+    ComponentPowers {
+        cpu: Power::watts(w.0),
+        codec: Power::watts(w.1),
+        gpu: Power::watts(w.2),
+        dsp: Power::watts(w.3),
+        memory: Power::watts(w.4),
+    }
+}
+
+proptest! {
+    /// Direct ledger driver: random per-component power steps on random
+    /// SoCs at strictly increasing (but otherwise arbitrary, sub-second
+    /// resolution) times, interleaved with chassis repricing. At every
+    /// step the ledger conserves energy, and both sides are monotone.
+    #[test]
+    fn random_power_churn_conserves_energy(
+        steps in prop::collection::vec(
+            (
+                0usize..12,                       // soc
+                (0.0f64..8.0, 0.0f64..3.0, 0.0f64..4.0, 0.0f64..2.0, 0.0f64..1.5),
+                1u64..900_000_000,                // dt, ns
+                prop::option::of(10.0f64..60.0),  // chassis repricing
+            ),
+            1..60
+        )
+    ) {
+        let socs = 12;
+        let mut ledger = EnergyLedger::new(SimTime::ZERO, socs, SOCS_PER_PCB, PSU_RAILS);
+        ledger.set_chassis_power(SimTime::ZERO, Power::watts(30.0));
+        let mut now = SimTime::ZERO;
+        let mut last_demand = 0.0f64;
+        let mut last_supply = 0.0f64;
+        for (soc, w, dt, chassis) in &steps {
+            now += SimDuration::from_nanos(*dt);
+            ledger.set_soc_power(now, *soc, powers(w));
+            if let Some(c) = chassis {
+                ledger.set_chassis_power(now, Power::watts(*c));
+            }
+            // Read mid-interval too: accessors extrapolate the pending
+            // interval, and conservation must hold there as well.
+            let probe = now + SimDuration::from_nanos(*dt / 2 + 1);
+            for t in [now, probe] {
+                if let Err(rel) = ledger.verify_conservation(t, REL_TOL) {
+                    prop_assert!(false, "conservation violated at {t}: rel err {rel:.3e}");
+                }
+            }
+            let demand = ledger.component_total(now).as_joules();
+            let supply = ledger.rail_total(now).as_joules();
+            prop_assert!(demand >= last_demand - 1e-12, "demand ran backwards");
+            prop_assert!(supply >= last_supply - 1e-12, "supply ran backwards");
+            last_demand = demand;
+            last_supply = supply;
+        }
+        // Per-component energies roll up exactly to the per-SoC totals.
+        for soc in 0..socs {
+            let by_component: f64 = Component::ALL
+                .iter()
+                .map(|&c| ledger.component_energy(soc, c, now).as_joules())
+                .sum();
+            let total = ledger.soc_energy(soc, now).as_joules();
+            prop_assert!(
+                (by_component - total).abs() <= REL_TOL * total.max(1.0),
+                "soc {soc}: components {by_component} vs total {total}"
+            );
+        }
+        // Boards partition the SoCs, rails partition the boards.
+        let board_sum: f64 = (0..ledger.boards())
+            .map(|b| ledger.board_energy(b, now).as_joules())
+            .sum();
+        let soc_sum: f64 = (0..socs).map(|s| ledger.soc_energy(s, now).as_joules()).sum();
+        prop_assert!((board_sum - soc_sum).abs() <= REL_TOL * soc_sum.max(1.0));
+    }
+
+    /// The orchestrator's always-on ledger survives fault/brownout churn:
+    /// random fault kinds, domain faults (brownout DVFS caps, board
+    /// drops, partitions), and mid-interval job arrivals never open a gap
+    /// between the component sum and the rail total.
+    #[test]
+    fn orchestrated_churn_conserves_energy(
+        seed in 0u64..1_000,
+        jobs in 2usize..12,
+        faults in prop::collection::vec(
+            (1u64..90, 0usize..60, 0usize..5),
+            0..4
+        ),
+        domain_faults in prop::collection::vec(
+            (1u64..90, 0usize..3, 1u64..40),
+            0..3
+        ),
+        arrivals in prop::collection::vec((1u64..99, 0usize..3), 0..5),
+        horizon_secs in 100u64..220,
+    ) {
+        let mut eng = RecoveryEngine::new(
+            OrchestratorConfig::default(),
+            RecoveryConfig::default(),
+            seed,
+        );
+        let video = socc_video::vbench::by_id("V1").expect("vbench V1");
+        for _ in 0..jobs {
+            eng.submit(WorkloadSpec::LiveStreamCpu { video: video.clone() })
+                .expect("capacity");
+        }
+        let kinds = [
+            FaultKind::Flash,
+            FaultKind::SocHang,
+            FaultKind::Memory,
+            FaultKind::ThermalTrip,
+            FaultKind::LinkLoss,
+        ];
+        let schedule = FaultSchedule {
+            soc: faults
+                .iter()
+                .map(|&(at, soc, kind)| FaultEvent {
+                    at: SimTime::from_secs(at),
+                    soc,
+                    kind: kinds[kind],
+                })
+                .collect(),
+            domain: domain_faults
+                .iter()
+                .map(|&(at, which, dur)| DomainFaultEvent {
+                    at: SimTime::from_secs(at),
+                    fault: match which {
+                        0 => DomainFault::PowerBrownout {
+                            rail: (at as usize) % PSU_RAILS,
+                            duration: SimDuration::from_secs(dur),
+                        },
+                        1 => DomainFault::BoardDown { board: (at as usize) % 12 },
+                        _ => DomainFault::FabricPartition {
+                            group: (at as usize) % 3,
+                            duration: SimDuration::from_secs(dur),
+                        },
+                    },
+                })
+                .collect(),
+        };
+        // Mid-run arrivals: drive begin/step/finish by hand and submit
+        // between steps, so placements land at whatever mid-interval time
+        // the loop happens to sit at — unaligned with sweep boundaries.
+        let horizon = SimTime::from_secs(horizon_secs);
+        eng.begin(&schedule, horizon);
+        let mut due: Vec<usize> = arrivals.iter().map(|&(_, after)| after + 1).collect();
+        let mut steps = 0usize;
+        while eng.step() {
+            steps += 1;
+            due.retain(|&after| {
+                if steps == after * 3 {
+                    let _ = eng.submit(WorkloadSpec::LiveStreamCpu { video: video.clone() });
+                    false
+                } else {
+                    true
+                }
+            });
+            // Conservation must hold between every pair of steps, not
+            // just at the horizon.
+            prop_assert!(
+                eng.orchestrator().verify_energy_conservation(REL_TOL).is_ok(),
+                "conservation violated mid-run at step {steps}"
+            );
+        }
+        eng.finish();
+
+        prop_assert!(
+            eng.orchestrator().verify_energy_conservation(REL_TOL).is_ok(),
+            "conservation violated after churn"
+        );
+        let ledger = eng.orchestrator().energy_ledger();
+        let now = eng.orchestrator().now();
+        let demand = ledger.component_total(now).as_joules();
+        let supply = ledger.rail_total(now).as_joules();
+        prop_assert!(demand > 0.0, "the cluster burned energy");
+        prop_assert!(
+            (demand - supply).abs() <= REL_TOL * demand.max(1.0),
+            "demand {demand} vs supply {supply}"
+        );
+    }
+}

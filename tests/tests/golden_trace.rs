@@ -1,0 +1,113 @@
+//! Golden-trace regression test: the fault-loop end-to-end scenario is a
+//! pure function of its seed, so its structured event trace — every
+//! placement, fault, detection, classification, remediation, and
+//! migration, in order, with sim timestamps — is snapshotted verbatim. A
+//! drift here means the orchestration loop's *causal behaviour* changed,
+//! not just a counter; the diff shows exactly which step moved.
+//!
+//! To re-bless after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p integration-tests --test golden_trace`
+
+use std::fs;
+use std::path::PathBuf;
+
+use socc_cluster::faults::{FaultEvent, FaultKind};
+use socc_cluster::orchestrator::OrchestratorConfig;
+use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine};
+use socc_cluster::workload::WorkloadSpec;
+use socc_sim::time::SimTime;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("trace_fault_loop.txt")
+}
+
+/// The fault-loop scenario of `fault_loop_e2e.rs`, traced: seed 42,
+/// 30 live streams, four distinct fault kinds, 400 s horizon.
+fn traced_scenario() -> RecoveryEngine {
+    let mut eng = RecoveryEngine::new(OrchestratorConfig::default(), RecoveryConfig::default(), 42);
+    let video = socc_video::vbench::by_id("V1").expect("vbench V1");
+    for _ in 0..30 {
+        eng.submit(WorkloadSpec::LiveStreamCpu {
+            video: video.clone(),
+        })
+        .expect("capacity");
+    }
+    let faults = [
+        (20, 0, FaultKind::Flash),
+        (40, 1, FaultKind::SocHang),
+        (60, 2, FaultKind::ThermalTrip),
+        (80, 3, FaultKind::LinkLoss),
+    ]
+    .map(|(at, soc, kind)| FaultEvent {
+        at: SimTime::from_secs(at),
+        soc,
+        kind,
+    });
+    eng.run(&faults, SimTime::from_secs(400));
+    eng
+}
+
+/// Normalized trace: the human-readable rendering (timestamp, scope,
+/// event, typed fields — no sequence numbers, no machine state) plus the
+/// order-sensitive digest as a trailer so the snapshot also pins the
+/// exporters' canonical hash.
+fn normalized_trace(eng: &RecoveryEngine) -> String {
+    let log = eng.events();
+    assert_eq!(
+        log.dropped(),
+        0,
+        "scenario must fit in the ring; grow EVENT_CAPACITY before blessing"
+    );
+    format!("{}digest {}\n", log.render(), log.digest_hex())
+}
+
+#[test]
+fn fault_loop_trace_matches_golden() {
+    let actual = normalized_trace(&traced_scenario());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        actual == expected,
+        "fault-loop trace drifted from {}.\nRe-run with UPDATE_GOLDEN=1 if the change is intentional.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn trace_is_reproducible_within_process() {
+    // The snapshot premise: two in-process runs are byte-identical, and
+    // the digest is insensitive to sequence numbering but pinned to
+    // content and order.
+    let a = traced_scenario();
+    let b = traced_scenario();
+    assert_eq!(normalized_trace(&a), normalized_trace(&b));
+    assert_eq!(a.events().digest(), b.events().digest());
+}
+
+#[test]
+fn exporters_cover_every_retained_event() {
+    // The JSONL export carries one line per retained event; the Chrome
+    // export carries one instant/duration record per event plus one
+    // thread-name metadata record per scope.
+    let eng = traced_scenario();
+    let log = eng.events();
+    let jsonl = log.to_jsonl();
+    assert_eq!(jsonl.lines().count(), log.len());
+    let chrome = log.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}\n"));
+    let records = chrome.matches("\"ph\":").count();
+    assert_eq!(records, log.len() + socc_sim::span::Scope::ALL.len());
+}
