@@ -45,6 +45,21 @@
 //!     --out BENCH_trace.json --chrome trace.json
 //! ```
 //!
+//! `bench --netval` cross-validates the packet-level fabric engine
+//! against the max-min flow model: a sweep of randomized
+//! topology × flow-set × churn scenarios run through both engines (each
+//! survivor's packet-measured goodput must match the flow model's
+//! prediction within the agreement tolerance), plus the goodput
+//! calibration (the packet-derived factor must reproduce the paper's
+//! ~903 Mbps anchor) and the incast pacing experiment (the unpaced
+//! N-to-1 burst must drop; the paced storm must not, at bounded
+//! completion inflation). Written as `BENCH_netval.json`:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --netval \
+//!     --cases 200 --seed 42 --out BENCH_netval.json
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
 //! baseline and exits non-zero on regression: for `--perf`, if events/sec
 //! dropped by more than 30%, the incremental path stopped being ≥5×
@@ -57,13 +72,18 @@
 //! independent, or a per-class MTTR p50 regressed by more than 30%; for
 //! `--trace`, if the spans-on overhead exceeds 10%, either recording path
 //! allocated, or the captured event count/digest drifted from the
-//! baseline.
+//! baseline; for `--netval`, if the calibrated goodput factor moved from
+//! the baseline's or the worst agreement error grew by more than 2
+//! points.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
+use socc_bench::netvalidate::{
+    run_netval, NetvalOptions, AGREEMENT_TOLERANCE, CALIBRATION_TOLERANCE, MAX_PACING_INFLATION,
+};
 use socc_bench::perf::{churn, comparison_json, PerfOptions};
 use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
 use socc_bench::tracebench::{trace_overhead, TraceOptions, MAX_OVERHEAD_PCT};
@@ -104,6 +124,8 @@ struct Args {
     serve: bool,
     chaos: bool,
     trace: bool,
+    netval: bool,
+    cases: usize,
     flows: usize,
     events: usize,
     points: usize,
@@ -122,6 +144,8 @@ fn parse_args() -> Result<Args, String> {
         serve: false,
         chaos: false,
         trace: false,
+        netval: false,
+        cases: 200,
         flows: 2000,
         events: 1000,
         points: 40,
@@ -141,6 +165,12 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => args.serve = true,
             "--chaos" => args.chaos = true,
             "--trace" => args.trace = true,
+            "--netval" => args.netval = true,
+            "--cases" => {
+                args.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
             "--reps" => {
                 args.reps = value("--reps")?
                     .parse()
@@ -474,6 +504,99 @@ fn run_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_netval_cmd(args: &Args) -> Result<(), String> {
+    let opts = NetvalOptions {
+        cases: args.cases,
+        seed: args.seed,
+        ..NetvalOptions::default()
+    };
+    let report = run_netval(&opts);
+    let doc = socc_bench::netvalidate::report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    // Absolute gates — the cross-validation contract itself, independent
+    // of any baseline.
+    let mut failures = Vec::new();
+    for f in &report.failures {
+        failures.push(format!(
+            "case {} (seed {}) disagreed: {}; minimal: {:?}; repro: {}",
+            f.case, f.seed, f.detail, f.minimal, f.repro
+        ));
+    }
+    if report.max_rel_err > AGREEMENT_TOLERANCE {
+        failures.push(format!(
+            "worst packet-vs-flow goodput error {:.3} exceeds ±{AGREEMENT_TOLERANCE}",
+            report.max_rel_err
+        ));
+    }
+    if report.calibration_rel_err > CALIBRATION_TOLERANCE {
+        failures.push(format!(
+            "calibrated goodput {:.1} Mbps misses the {:.0} Mbps anchor by {:.3} (> {CALIBRATION_TOLERANCE})",
+            report.calibration.goodput.as_mbps(),
+            socc_hw::calib::INTER_SOC_TCP_MBPS,
+            report.calibration_rel_err
+        ));
+    }
+    if report.incast_unpaced.drops == 0 {
+        failures.push("unpaced incast burst no longer overflows the port buffer".to_string());
+    }
+    if report.incast_paced.drops >= report.incast_unpaced.drops {
+        failures.push(format!(
+            "pacing no longer reduces incast drops ({} paced vs {} unpaced)",
+            report.incast_paced.drops, report.incast_unpaced.drops
+        ));
+    }
+    let inflation = report.incast_paced.completion_ms / report.incast_unpaced.completion_ms;
+    if inflation > MAX_PACING_INFLATION {
+        failures.push(format!(
+            "paced incast completion inflated {inflation:.2}x (> {MAX_PACING_INFLATION}x)"
+        ));
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let base_factor = extract(&baseline, "calibration", "factor")
+            .ok_or("baseline missing calibration factor")?;
+        if (report.calibration.factor - base_factor).abs() > 1e-6 {
+            failures.push(format!(
+                "calibrated goodput factor drifted: {:.6} vs baseline {base_factor:.6} — \
+                 the packet engine changed; refresh BENCH_netval.json deliberately",
+                report.calibration.factor
+            ));
+        }
+        let base_err = extract(&baseline, "agreement", "max_rel_err")
+            .ok_or("baseline missing agreement max_rel_err")?;
+        if report.max_rel_err > base_err + 0.02 {
+            failures.push(format!(
+                "worst agreement error grew: {:.3} vs baseline {base_err:.3} (+2pt budget)",
+                report.max_rel_err
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "netval check ok: {} cases / {} flows agree (worst err {:.3}, mean {:.3}), \
+         calibration {:.1} Mbps (anchor err {:.3}), incast drops {} -> {} paced ({inflation:.2}x completion), {:.0} cases/sec",
+        report.options.cases,
+        report.flows_checked,
+        report.max_rel_err,
+        report.mean_rel_err,
+        report.calibration.goodput.as_mbps(),
+        report.calibration_rel_err,
+        report.incast_unpaced.drops,
+        report.incast_paced.drops,
+        report.cases_per_sec
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -482,9 +605,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf && !args.serve && !args.chaos && !args.trace {
+    if !args.perf && !args.serve && !args.chaos && !args.trace && !args.netval {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
@@ -494,6 +617,8 @@ fn main() -> ExitCode {
         run_serve(&args)
     } else if args.trace {
         run_trace(&args)
+    } else if args.netval {
+        run_netval_cmd(&args)
     } else {
         run_chaos_cmd(&args)
     };

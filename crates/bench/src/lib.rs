@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod extensions;
+pub mod netvalidate;
 pub mod perf;
 pub mod repro;
 pub mod serve;

@@ -1,0 +1,99 @@
+//! Evacuation-storm admission pacing.
+//!
+//! A whole-board failure displaces up to 65 workloads at once; re-placing
+//! them all immediately turns their state transfers into an N-to-1 incast
+//! at the destination boards' 1 GbE uplinks — exactly the burst the
+//! packet-level engine shows overflowing a port buffer (`socc-net`'s
+//! incast tests). [`EvacuationPacing`] spreads the admissions into waves
+//! sized so the concurrent transfers of each wave fit the bottleneck:
+//! the wave length comes from the *measured* fabric goodput (the
+//! packet-mode calibration behind
+//! [`TcpModel::inter_soc`](socc_net::tcp::TcpModel::inter_soc)), not from
+//! the raw link rate, so pacing tracks what the fabric actually drains.
+//!
+//! The pacer is opt-in via
+//! [`RecoveryConfig::evacuation_pacing`](crate::recovery::RecoveryConfig):
+//! `None` (the default) keeps the recovery loop byte-identical to the
+//! unpaced behaviour.
+
+use socc_net::tcp::TcpModel;
+use socc_sim::time::SimDuration;
+use socc_sim::units::{DataRate, DataSize};
+
+/// Admission pacing for a batch of fault-displaced workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct EvacuationPacing {
+    /// Migrations admitted concurrently (one wave).
+    pub max_concurrent: usize,
+    /// Workload state moved per migration.
+    pub state_size: DataSize,
+    /// Capacity of the narrowest escape link the wave shares.
+    pub bottleneck: DataRate,
+}
+
+impl EvacuationPacing {
+    /// Pacing for the SoC Cluster fabric: two concurrent migrations of
+    /// 1 MB of state across a 1 GbE PCB uplink. Two lanes stay under the
+    /// per-port ECN threshold, so a paced storm drains without drops.
+    pub fn cluster_default() -> Self {
+        Self {
+            max_concurrent: 2,
+            state_size: DataSize::megabytes(1.0),
+            bottleneck: DataRate::bps(socc_hw::calib::PCB_UPLINK_BPS),
+        }
+    }
+
+    /// How long one wave of `max_concurrent` fair-sharing transfers takes
+    /// to drain the bottleneck, at the calibrated (packet-measured)
+    /// goodput of each transfer's fair share.
+    pub fn wave_time(&self) -> SimDuration {
+        let lanes = self.max_concurrent.max(1);
+        let fair_share = DataRate::bps(self.bottleneck.as_bps() / lanes as f64);
+        self.state_size / TcpModel::inter_soc().goodput(fair_share)
+    }
+
+    /// Admission offsets for `n` displaced workloads: wave `k` (the
+    /// `k`-th group of `max_concurrent`) starts `k` wave-times after
+    /// detection. The first wave starts immediately, so pacing never
+    /// delays a batch that already fits the fabric.
+    pub fn admission_offsets(&self, n: usize) -> Vec<SimDuration> {
+        let lanes = self.max_concurrent.max(1);
+        let wave = self.wave_time();
+        (0..n).map(|i| wave * ((i / lanes) as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_wave_is_never_delayed() {
+        let p = EvacuationPacing::cluster_default();
+        let offsets = p.admission_offsets(5);
+        assert_eq!(offsets[0], SimDuration::ZERO);
+        assert_eq!(offsets[1], SimDuration::ZERO);
+        assert!(offsets[2] > SimDuration::ZERO);
+        assert_eq!(offsets[2], offsets[3]);
+        assert_eq!(offsets[4], offsets[2] * 2.0);
+    }
+
+    #[test]
+    fn wave_time_tracks_the_calibrated_goodput() {
+        let p = EvacuationPacing::cluster_default();
+        // 1 MB over half a 1 GbE link at the calibrated factor: a raw
+        // (uncalibrated) drain would be faster, a naive serial one slower.
+        let raw = p.state_size / DataRate::bps(p.bottleneck.as_bps() / 2.0);
+        assert!(p.wave_time() > raw, "pacing must budget for goodput < raw");
+        assert!(p.wave_time() < raw * 1.25, "factor is within 25% of raw");
+    }
+
+    #[test]
+    fn small_batches_fit_one_wave() {
+        let p = EvacuationPacing::cluster_default();
+        assert!(p
+            .admission_offsets(2)
+            .iter()
+            .all(|&d| d == SimDuration::ZERO));
+    }
+}

@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod collab;
 pub mod colocation;
 pub mod detector;
+pub mod evacuation;
 pub mod experiments;
 pub mod faults;
 pub mod gaming;

@@ -26,6 +26,7 @@ use socc_sim::time::{SimDuration, SimTime};
 
 use crate::bmc::{encode_command, BmcCommand};
 use crate::detector::{access_links, classify, DetectedClass, HeartbeatMonitor};
+use crate::evacuation::EvacuationPacing;
 use crate::faults::{DomainFault, FailureDomains, FaultEvent, FaultKind, FaultSchedule};
 use crate::orchestrator::{Orchestrator, OrchestratorConfig};
 use crate::priority::{priority_of, Priority, PriorityAdmission};
@@ -54,6 +55,11 @@ pub struct RecoveryConfig {
     pub thermal_cooldown: SimDuration,
     /// Time for a technician/auto-retrain to bring a failed link back.
     pub link_repair_time: SimDuration,
+    /// Optional admission pacing for evacuation storms: batches of
+    /// displaced workloads are re-placed in waves sized to the measured
+    /// fabric drain rate instead of all at once. `None` (the default)
+    /// keeps the loop's behaviour — and its golden traces — unchanged.
+    pub evacuation_pacing: Option<EvacuationPacing>,
 }
 
 impl Default for RecoveryConfig {
@@ -67,6 +73,7 @@ impl Default for RecoveryConfig {
             power_cycle_time: SimDuration::from_secs(10),
             thermal_cooldown: SimDuration::from_secs(60),
             link_repair_time: SimDuration::from_secs(120),
+            evacuation_pacing: None,
         }
     }
 }
@@ -769,8 +776,42 @@ impl RecoveryEngine {
                 .cmp(&priority_of(&a.1))
                 .then(a.0.cmp(&b.0))
         });
-        for (orig, spec, fault_at, class) in displaced {
-            self.try_place(orig, spec, fault_at, 1, now, Some(board), class);
+        // With pacing on, later waves get their *initial* placement attempt
+        // (attempt = 1, so it never books as a retry) deferred by the
+        // measured fabric drain time; priority order decides who ships now.
+        let offsets = self
+            .config
+            .evacuation_pacing
+            .filter(|_| displaced.len() > 1)
+            .map(|p| p.admission_offsets(displaced.len()));
+        if let Some(offsets) = &offsets {
+            let held = offsets.iter().filter(|&&d| d > SimDuration::ZERO).count() as u64;
+            if held > 0 {
+                self.telemetry.add("ft.evacuations_paced", held);
+                self.orch.events_mut().record(
+                    now,
+                    Scope::Recovery,
+                    EventKind::EvacuationPaced { held },
+                );
+            }
+        }
+        for (i, (orig, spec, fault_at, class)) in displaced.into_iter().enumerate() {
+            let delay = offsets.as_ref().map_or(SimDuration::ZERO, |o| o[i]);
+            if delay > SimDuration::ZERO {
+                self.queue.schedule(
+                    now + delay,
+                    Action::Retry {
+                        original: orig,
+                        spec,
+                        fault_at,
+                        attempt: 1,
+                        from_board: Some(board),
+                        class,
+                    },
+                );
+            } else {
+                self.try_place(orig, spec, fault_at, 1, now, Some(board), class);
+            }
         }
     }
 
@@ -1204,6 +1245,50 @@ mod tests {
             );
         }
         assert!(eng.orchestrator().verify_placement_index());
+    }
+
+    #[test]
+    fn paced_evacuation_spreads_the_storm_without_losing_anyone() {
+        let board_down = FaultSchedule {
+            soc: Vec::new(),
+            domain: vec![crate::faults::DomainFaultEvent {
+                at: SimTime::from_secs(10),
+                fault: DomainFault::BoardDown { board: 0 },
+            }],
+        };
+        let run = |pacing: Option<EvacuationPacing>| {
+            let mut eng = RecoveryEngine::new(
+                OrchestratorConfig::default(),
+                RecoveryConfig {
+                    evacuation_pacing: pacing,
+                    ..RecoveryConfig::default()
+                },
+                11,
+            );
+            for _ in 0..65 {
+                eng.submit(live_v1()).unwrap();
+            }
+            eng.run_schedule(&board_down, SimTime::from_secs(120));
+            eng
+        };
+        let unpaced = run(None);
+        let paced = run(Some(EvacuationPacing::cluster_default()));
+        // Pacing changes *when* evacuees are re-placed, never whether.
+        for eng in [&unpaced, &paced] {
+            assert_eq!(eng.telemetry().counter("ft.migrations"), 65);
+            assert!(eng
+                .fates()
+                .values()
+                .all(|r| r.fate == WorkloadFate::Running));
+        }
+        assert_eq!(unpaced.telemetry().counter("ft.evacuations_paced"), 0);
+        // 65 victims in waves of 2: everyone past the first wave is held.
+        assert_eq!(paced.telemetry().counter("ft.evacuations_paced"), 63);
+        // The held waves trade a bounded sliver of availability for not
+        // flooding the fabric: strictly more downtime, but within one
+        // storm's worth of wave-times.
+        assert!(paced.availability() < unpaced.availability());
+        assert!(paced.availability() > unpaced.availability() - 0.01);
     }
 
     #[test]

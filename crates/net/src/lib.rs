@@ -11,7 +11,9 @@
 //! - [`tcp`]: goodput efficiency and slow-start latency calibrated to the
 //!   measured 903 Mbps / 0.44 ms inter-SoC path (§2.3);
 //! - [`sim`]: the [`FlowNet`] event-driven simulator mixing
-//!   long-lived streams and finite transfers.
+//!   long-lived streams and finite transfers;
+//! - [`packet`]: the opt-in packet-level engine ([`PacketNet`]) used to
+//!   cross-validate the flow model and calibrate its goodput factor.
 //!
 //! # Examples
 //!
@@ -34,11 +36,13 @@
 
 pub mod failure;
 pub mod fairness;
+pub mod packet;
 pub mod sim;
 pub mod tcp;
 pub mod topology;
 
 pub use failure::FailureAwareRouting;
+pub use packet::{PacketConfig, PacketFlowId, PacketNet};
 pub use sim::{FlowNet, NetError, StreamId, TransferId};
 pub use tcp::TcpModel;
 pub use topology::{ClusterFabric, LinkId, NodeId, NodeKind, Topology};

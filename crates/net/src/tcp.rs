@@ -5,6 +5,12 @@
 //! factor applied to the fair share of the path, and (b) a slow-start ramp
 //! that delays short transfers by a few RTTs — the effect that makes
 //! cross-SoC tensor parallelism communication-bound in §5.3.
+//!
+//! The efficiency factor is **not** hard-coded: [`TcpModel::inter_soc`]
+//! takes it from the packet-level engine's goodput calibration
+//! ([`crate::packet::calibrated_goodput_factor`], cached per process),
+//! and a test checks the calibrated value reproduces the paper's
+//! measurement within 5%.
 
 use serde::{Deserialize, Serialize};
 use socc_sim::time::SimDuration;
@@ -23,11 +29,13 @@ pub struct TcpModel {
 }
 
 impl TcpModel {
-    /// The measured inter-SoC path of the cluster (§2.3).
+    /// The measured inter-SoC path of the cluster (§2.3). The efficiency
+    /// comes from the packet-mode calibration run, not from the measured
+    /// constant (`INTER_SOC_TCP_MBPS` stays as a validation anchor only).
     pub fn inter_soc() -> Self {
         Self {
             rtt: SimDuration::from_millis_f64(socc_hw::calib::INTER_SOC_RTT_MS),
-            efficiency: socc_hw::calib::INTER_SOC_TCP_MBPS / 1000.0,
+            efficiency: crate::packet::calibrated_goodput_factor(),
             initial_window_bytes: 14_600.0,
         }
     }
@@ -67,9 +75,16 @@ mod tests {
     #[test]
     fn inter_soc_matches_measurements() {
         let tcp = TcpModel::inter_soc();
-        // 1 Gbps fair share → ~903 Mbps goodput (§2.3).
+        // 1 Gbps fair share → calibrated goodput within 5% of the paper's
+        // measured 903 Mbps (§2.3). The factor is computed, not asserted
+        // equal, so the packet engine — not a constant — carries the claim.
         let goodput = tcp.goodput(DataRate::gbps(1.0));
-        assert!((goodput.as_mbps() - 903.0).abs() < 1.0);
+        let anchor = socc_hw::calib::INTER_SOC_TCP_MBPS;
+        assert!(
+            (goodput.as_mbps() - anchor).abs() < anchor * 0.05,
+            "calibrated {} Mbps vs measured {anchor} Mbps",
+            goodput.as_mbps()
+        );
         assert!((tcp.rtt.as_millis_f64() - 0.44).abs() < 1e-9);
     }
 

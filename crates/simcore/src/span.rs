@@ -273,6 +273,26 @@ pub enum EventKind {
         /// Link id.
         link: u32,
     },
+    /// A packet was dropped at a full port buffer (packet mode).
+    PacketDropped {
+        /// Link id of the congested port.
+        link: u32,
+    },
+    /// A packet was ECN-marked at an over-threshold port (packet mode).
+    EcnMarked {
+        /// Link id of the marking port.
+        link: u32,
+    },
+    /// A sender halved its congestion window (packet mode).
+    CwndReduced {
+        /// Flow id.
+        flow: u64,
+    },
+    /// Evacuation admission was paced by fabric backpressure.
+    EvacuationPaced {
+        /// Transfers held back in this pacing decision.
+        held: u64,
+    },
     /// A transcode session was planned.
     SessionPlanned {
         /// Frames the session covers.
@@ -332,6 +352,10 @@ impl EventKind {
             EventKind::TransferFinished { .. } => "transfer_finished",
             EventKind::LinkFailed { .. } => "link_failed",
             EventKind::LinkRepaired { .. } => "link_repaired",
+            EventKind::PacketDropped { .. } => "packet_dropped",
+            EventKind::EcnMarked { .. } => "ecn_marked",
+            EventKind::CwndReduced { .. } => "cwnd_reduced",
+            EventKind::EvacuationPaced { .. } => "evacuation_paced",
             EventKind::SessionPlanned { .. } => "session_planned",
             EventKind::ServeEvaluated { .. } => "serve_evaluated",
             EventKind::SpanBegin { .. } => "span_begin",
@@ -393,9 +417,12 @@ impl EventKind {
             EventKind::TransferStarted { transfer } | EventKind::TransferFinished { transfer } => {
                 return [Some(("transfer", U64(transfer))), None]
             }
-            EventKind::LinkFailed { link } | EventKind::LinkRepaired { link } => {
-                return [Some(("link", U64(u64::from(link)))), None]
-            }
+            EventKind::LinkFailed { link }
+            | EventKind::LinkRepaired { link }
+            | EventKind::PacketDropped { link }
+            | EventKind::EcnMarked { link } => return [Some(("link", U64(u64::from(link)))), None],
+            EventKind::CwndReduced { flow } => return [Some(("flow", U64(flow))), None],
+            EventKind::EvacuationPaced { held } => return [Some(("held", U64(held))), None],
             EventKind::SessionPlanned { frames } => return [Some(("frames", U64(frames))), None],
             EventKind::ServeEvaluated { fps_milli } => {
                 return [Some(("fps_milli", U64(fps_milli))), None]

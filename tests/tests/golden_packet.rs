@@ -1,0 +1,105 @@
+//! Golden-trace regression test for the packet-level fabric engine.
+//!
+//! The engine is deterministic — FIFO lanes, round-robin service, no
+//! randomness — so a small incast scenario's structured event trace
+//! (transfer lifecycle, ECN marks, window cuts, tail drops, in order,
+//! with sim timestamps) is snapshotted verbatim. A drift here means the
+//! packet engine's *causal behaviour* changed — service order, marking
+//! threshold, congestion response — not just an aggregate; the diff shows
+//! exactly which packet-level decision moved. Refresh `BENCH_netval.json`
+//! in the same commit as any intentional re-bless: the calibrated goodput
+//! factor will have moved with it.
+//!
+//! To re-bless after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p integration-tests --test golden_packet`
+
+use std::fs;
+use std::path::PathBuf;
+
+use socc_net::packet::{PacketConfig, PacketNet};
+use socc_net::topology::Topology;
+use socc_sim::units::DataSize;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("packet_small.txt")
+}
+
+/// A one-board incast small enough to trace end to end: three 256 KB
+/// transfers from SoCs 1–3 converge on SoC 0's access link. The
+/// synchronized slow starts overshoot the shared buffer, so the trace
+/// pins all three congestion behaviours — ECN marks, window cuts, and
+/// tail drops with retransmission — in one scenario.
+fn traced_scenario() -> PacketNet {
+    let fabric = Topology::soc_cluster(5);
+    let mut net = PacketNet::new(fabric.topology.clone(), PacketConfig::cluster());
+    net.enable_tracing();
+    for src in 1..=3 {
+        net.start_transfer(fabric.socs[src], fabric.socs[0], DataSize::kilobytes(256.0))
+            .expect("intra-board route");
+    }
+    net.run_to_idle();
+    net
+}
+
+/// Normalized trace: the human-readable rendering plus the
+/// order-sensitive digest as a trailer, matching `golden_trace.rs`.
+fn normalized_trace(net: &PacketNet) -> String {
+    let log = net.event_log();
+    assert_eq!(
+        log.dropped(),
+        0,
+        "scenario must fit in the ring; shrink it or grow the ring before blessing"
+    );
+    format!("{}digest {}\n", log.render(), log.digest_hex())
+}
+
+#[test]
+fn packet_trace_matches_golden() {
+    let actual = normalized_trace(&traced_scenario());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        actual == expected,
+        "packet trace drifted from {}.\nRe-run with UPDATE_GOLDEN=1 if the change is intentional \
+         (and refresh BENCH_netval.json in the same commit).\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn packet_trace_is_reproducible_within_process() {
+    let a = traced_scenario();
+    let b = traced_scenario();
+    assert_eq!(normalized_trace(&a), normalized_trace(&b));
+    assert_eq!(a.event_log().digest(), b.event_log().digest());
+}
+
+#[test]
+fn traced_scenario_exercises_congestion_control() {
+    // The snapshot is only worth keeping if it pins interesting behaviour:
+    // the synchronized incast must mark ECN, cut windows, AND overshoot
+    // into tail drops — the full congestion repertoire the engine models.
+    let net = traced_scenario();
+    assert!(net.total_ecn_marks() > 0, "incast must mark ECN");
+    assert!(
+        net.total_drops() > 0,
+        "synchronized slow starts must overshoot"
+    );
+    let rendered = net.event_log().render();
+    assert!(
+        rendered.contains("cwnd_reduced"),
+        "windows must cut:\n{rendered}"
+    );
+}

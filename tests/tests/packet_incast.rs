@@ -1,0 +1,53 @@
+//! Incast regression test at packet resolution.
+//!
+//! The flow model cannot see incast: max-min fairness happily assigns an
+//! N-to-1 burst its fair shares and reports no trouble. The packet engine
+//! shows what the fabric actually does — the victim's ESB → PCB port
+//! buffer fills to the brim and tail-drops — and that evacuation-storm
+//! pacing (`EvacuationPacing` waves sized to the calibrated fabric drain
+//! rate) trades those drops for a bounded completion-time stretch.
+
+use socc_bench::netvalidate::{run_incast, MAX_PACING_INFLATION};
+
+#[test]
+fn unpaced_incast_overflows_the_victim_port() {
+    let burst = run_incast(8, false);
+    assert!(
+        burst.drops > 0,
+        "8-to-1 burst of 1 MB transfers must tail-drop at the shared port"
+    );
+    assert_eq!(
+        burst.max_queue, 64,
+        "the victim ESB->PCB port must fill its whole buffer"
+    );
+}
+
+#[test]
+fn pacing_trades_drops_for_bounded_inflation() {
+    let unpaced = run_incast(8, false);
+    let paced = run_incast(8, true);
+    assert!(
+        paced.drops < unpaced.drops,
+        "paced storm must drop less than the burst ({} vs {})",
+        paced.drops,
+        unpaced.drops
+    );
+    let inflation = paced.completion_ms / unpaced.completion_ms;
+    assert!(
+        inflation <= MAX_PACING_INFLATION,
+        "pacing stretched completion {inflation:.2}x, budget {MAX_PACING_INFLATION}x"
+    );
+    // The bottleneck port's drain rate is conserved, so pacing must not
+    // leave the fabric idle either: completion can't come in much under
+    // the burst's (that would mean the burst was wasting the link).
+    assert!(
+        inflation >= 0.9,
+        "paced completion {inflation:.2}x implausibly faster than the burst"
+    );
+}
+
+#[test]
+fn incast_outcomes_are_deterministic() {
+    assert_eq!(run_incast(8, false), run_incast(8, false));
+    assert_eq!(run_incast(8, true), run_incast(8, true));
+}
