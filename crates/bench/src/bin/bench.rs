@@ -60,6 +60,19 @@
 //!     --cases 200 --seed 42 --out BENCH_netval.json
 //! ```
 //!
+//! `bench --fleet` runs the 256-site fleet-day: every site replays its
+//! phase-shifted Fig. 5 gaming trace under the sharded fleet simulator,
+//! once per worker-thread count (1, 2, 8) on the work-stealing pool. The
+//! result digest must be bit-identical across worker counts, and the
+//! artifact records wall-clock and critical-path-modeled speedups plus
+//! the barrier loop's allocation discipline, written as
+//! `BENCH_fleet.json`:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --fleet \
+//!     --sites 256 --hours 24 --window 120 --out BENCH_fleet.json
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
 //! baseline and exits non-zero on regression: for `--perf`, if events/sec
 //! dropped by more than 30%, the incremental path stopped being ≥5×
@@ -74,13 +87,21 @@
 //! allocated, or the captured event count/digest drifted from the
 //! baseline; for `--netval`, if the calibrated goodput factor moved from
 //! the baseline's or the worst agreement error grew by more than 2
-//! points.
+//! points; for `--fleet`, if the digest drifted from a same-config
+//! baseline or single-thread windows/sec dropped by more than 30%
+//! (digest mismatch across worker counts, a modeled 8-worker speedup
+//! below 4×, and a leaky coordination loop fail even without a
+//! baseline).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
+use socc_bench::fleet::{
+    run_fleet_bench, FleetBenchOptions, MAX_COORD_ALLOCS_PER_WINDOW, MIN_SPEEDUP_8W,
+};
+use socc_bench::harness::extract_num as extract;
 use socc_bench::netvalidate::{
     run_netval, NetvalOptions, AGREEMENT_TOLERANCE, CALIBRATION_TOLERANCE, MAX_PACING_INFLATION,
 };
@@ -125,6 +146,10 @@ struct Args {
     chaos: bool,
     trace: bool,
     netval: bool,
+    fleet: bool,
+    sites: usize,
+    hours: u64,
+    window: u64,
     cases: usize,
     flows: usize,
     events: usize,
@@ -145,6 +170,10 @@ fn parse_args() -> Result<Args, String> {
         chaos: false,
         trace: false,
         netval: false,
+        fleet: false,
+        sites: 256,
+        hours: 24,
+        window: 120,
         cases: 200,
         flows: 2000,
         events: 1000,
@@ -166,6 +195,22 @@ fn parse_args() -> Result<Args, String> {
             "--chaos" => args.chaos = true,
             "--trace" => args.trace = true,
             "--netval" => args.netval = true,
+            "--fleet" => args.fleet = true,
+            "--sites" => {
+                args.sites = value("--sites")?
+                    .parse()
+                    .map_err(|e| format!("--sites: {e}"))?
+            }
+            "--hours" => {
+                args.hours = value("--hours")?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?
+            }
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
             "--cases" => {
                 args.cases = value("--cases")?
                     .parse()
@@ -215,24 +260,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-/// Pulls `"key": <number>` out of the JSON `section` object of `doc`.
-/// Good enough for the harness's own output format; the workspace carries
-/// no JSON parser by design.
-fn extract(doc: &str, section: &str, key: &str) -> Option<f64> {
-    let start = doc.find(&format!("\"{section}\""))?;
-    let tail = &doc[start..];
-    let kpos = tail.find(&format!("\"{key}\""))?;
-    let after = &tail[kpos..];
-    let colon = after.find(':')?;
-    let rest = after[colon + 1..].trim_start();
-    let end = rest
-        .find(|c: char| {
-            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
-        })
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn run_perf(args: &Args) -> Result<(), String> {
@@ -597,6 +624,109 @@ fn run_netval_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_fleet_cmd(args: &Args) -> Result<(), String> {
+    let opts = FleetBenchOptions {
+        sites: args.sites,
+        hours: args.hours,
+        window_secs: args.window,
+        seed: args.seed,
+    };
+    let report = run_fleet_bench(&opts, &alloc_count);
+    let doc = socc_bench::fleet::report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    // Absolute gates — the fleet simulator's own contract, independent of
+    // any baseline: determinism across thread counts, the ISSUE 7 speedup
+    // bar, and a coordination loop that reuses its buffers.
+    let mut failures = Vec::new();
+    if !report.digests_match() {
+        let digests: Vec<&str> = report.runs.iter().map(|r| r.digest_hex.as_str()).collect();
+        failures.push(format!(
+            "result digest differs across worker counts ({digests:?}) — \
+             conservative sync is leaking nondeterminism"
+        ));
+    }
+    let modeled_8w = report.modeled_speedup(8);
+    let wall_8w = report.wall_speedup(8);
+    if modeled_8w < MIN_SPEEDUP_8W {
+        failures.push(format!(
+            "modeled 8-worker speedup {modeled_8w:.2}x below the {MIN_SPEEDUP_8W}x bar"
+        ));
+    }
+    if report.host_cpus >= 8 && wall_8w < MIN_SPEEDUP_8W {
+        failures.push(format!(
+            "wall-clock 8-worker speedup {wall_8w:.2}x below the {MIN_SPEEDUP_8W}x bar \
+             on a {}-core host",
+            report.host_cpus
+        ));
+    }
+    if let Some(one) = report.run_at(1) {
+        if one.coord_allocs_per_window > MAX_COORD_ALLOCS_PER_WINDOW {
+            failures.push(format!(
+                "steady-state coordination allocated {:.1}/window (> {MAX_COORD_ALLOCS_PER_WINDOW}) — \
+                 the barrier loop lost its buffer reuse",
+                one.coord_allocs_per_window
+            ));
+        }
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        // The digest is only comparable when the baseline ran the same
+        // scenario.
+        let same_config = [
+            ("sites", opts.sites as f64),
+            ("hours", opts.hours as f64),
+            ("window_secs", opts.window_secs as f64),
+            ("seed", opts.seed as f64),
+        ]
+        .iter()
+        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
+        if same_config {
+            if !baseline.contains(&format!("\"digest\": \"{}\"", report.runs[0].digest_hex)) {
+                failures.push(format!(
+                    "fleet digest {} differs from baseline — simulated behaviour \
+                     drifted; refresh BENCH_fleet.json deliberately",
+                    report.runs[0].digest_hex
+                ));
+            }
+        } else {
+            eprintln!("fleet check: baseline config differs; skipping digest comparison");
+        }
+        if let (Some(base_wps), Some(one)) = (
+            extract(&baseline, "w1", "windows_per_sec"),
+            report.run_at(1),
+        ) {
+            if one.windows_per_sec < 0.7 * base_wps {
+                failures.push(format!(
+                    "single-thread windows/sec regressed >30%: {:.1} vs baseline {base_wps:.1}",
+                    one.windows_per_sec
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "fleet check ok: {} sites x {} windows, digest {} identical at {:?} workers, \
+         speedup {wall_8w:.2}x wall / {modeled_8w:.2}x modeled on {} cpus, \
+         {:.1} coord allocs/window",
+        report.options.sites,
+        report.runs[0].windows,
+        report.runs[0].digest_hex,
+        socc_bench::fleet::WORKER_COUNTS,
+        report.host_cpus,
+        report.run_at(1).map_or(0.0, |r| r.coord_allocs_per_window),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -605,9 +735,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf && !args.serve && !args.chaos && !args.trace && !args.netval {
+    if !args.perf && !args.serve && !args.chaos && !args.trace && !args.netval && !args.fleet {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
@@ -619,6 +749,8 @@ fn main() -> ExitCode {
         run_trace(&args)
     } else if args.netval {
         run_netval_cmd(&args)
+    } else if args.fleet {
+        run_fleet_cmd(&args)
     } else {
         run_chaos_cmd(&args)
     };

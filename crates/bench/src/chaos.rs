@@ -174,11 +174,9 @@ pub struct ChaosReport {
     pub campaigns_per_sec: f64,
 }
 
-/// Campaign `k`'s private seed.
+/// Campaign `k`'s private seed ([`crate::harness::mix_seed`]).
 fn campaign_seed(seed: u64, k: usize) -> u64 {
-    seed ^ (k as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .rotate_left(17)
+    crate::harness::mix_seed(seed, k)
 }
 
 /// Draws campaign `k`'s correlated schedule and its independent twin.

@@ -9,6 +9,8 @@
 
 pub mod chaos;
 pub mod extensions;
+pub mod fleet;
+pub mod harness;
 pub mod netvalidate;
 pub mod perf;
 pub mod repro;

@@ -473,13 +473,11 @@ pub struct NetvalReport {
     pub cases_per_sec: f64,
 }
 
-/// Case `k`'s private seed (same mixing as the chaos harness, so
-/// `--seed S --cases 1` replays case `k` of a sweep run at seed
-/// `case_seed(S, k)`).
+/// Case `k`'s private seed (same mixing as the chaos harness — one
+/// shared [`crate::harness::mix_seed`] — so `--seed S --cases 1` replays
+/// case `k` of a sweep run at seed `case_seed(S, k)`).
 pub fn case_seed(seed: u64, k: usize) -> u64 {
-    seed ^ (k as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .rotate_left(17)
+    crate::harness::mix_seed(seed, k)
 }
 
 /// Runs the full sweep plus the calibration and incast experiments.

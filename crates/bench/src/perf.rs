@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use crate::harness::JsonBuilder;
 use socc_net::sim::FlowNet;
 use socc_net::tcp::TcpModel;
 use socc_net::topology::{NodeId, Topology};
@@ -260,80 +261,43 @@ fn churn_event(
     }
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
-    }
-}
-
 impl PerfReport {
-    /// Renders the report as a JSON object (no trailing newline). The
-    /// workspace deliberately carries no JSON dependency, so this is
-    /// hand-rolled.
-    pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\n",
-                "    \"mode\": \"{}\",\n",
-                "    \"flows\": {},\n",
-                "    \"events\": {},\n",
-                "    \"elapsed_secs\": {},\n",
-                "    \"events_per_sec\": {},\n",
-                "    \"reallocations\": {},\n",
-                "    \"reallocations_per_sec\": {},\n",
-                "    \"p50_event_us\": {},\n",
-                "    \"p99_event_us\": {},\n",
-                "    \"waterfill_rounds\": {},\n",
-                "    \"waterfill_touches\": {},\n",
-                "    \"cert_touches\": {},\n",
-                "    \"full_recomputes\": {},\n",
-                "    \"steady_state_allocs\": {},\n",
-                "    \"final_drift_bps\": {}\n",
-                "  }}"
-            ),
-            self.mode,
-            self.flows,
-            self.events,
-            json_f64(self.elapsed_secs),
-            json_f64(self.events_per_sec),
-            self.reallocations,
-            json_f64(self.reallocations_per_sec),
-            json_f64(self.p50_event_us),
-            json_f64(self.p99_event_us),
-            self.waterfill_rounds,
-            self.waterfill_touches,
-            self.cert_touches,
-            self.full_recomputes,
-            self.steady_state_allocs,
-            json_f64(self.final_drift_bps),
-        )
+    /// Writes the report's fields into a [`JsonBuilder`] object.
+    fn fill(&self, j: &mut JsonBuilder) {
+        j.str("mode", self.mode);
+        j.int("flows", self.flows as u64);
+        j.int("events", self.events as u64);
+        j.f64("elapsed_secs", self.elapsed_secs);
+        j.f64("events_per_sec", self.events_per_sec);
+        j.int("reallocations", self.reallocations);
+        j.f64("reallocations_per_sec", self.reallocations_per_sec);
+        j.f64("p50_event_us", self.p50_event_us);
+        j.f64("p99_event_us", self.p99_event_us);
+        j.int("waterfill_rounds", self.waterfill_rounds);
+        j.int("waterfill_touches", self.waterfill_touches);
+        j.int("cert_touches", self.cert_touches);
+        j.int("full_recomputes", self.full_recomputes);
+        j.int("steady_state_allocs", self.steady_state_allocs);
+        j.f64("final_drift_bps", self.final_drift_bps);
     }
 }
 
 /// Renders the `BENCH_net.json` artifact: both runs plus the headline
 /// ratio of from-scratch waterfilling work to incremental work (the
-/// acceptance bar is ≥ 5).
+/// acceptance bar is ≥ 5). Built on the shared [`JsonBuilder`], which
+/// reproduces the committed artifact's byte format exactly.
 pub fn comparison_json(incremental: &PerfReport, full: &PerfReport) -> String {
     let ratio = if incremental.waterfill_touches > 0 {
         full.waterfill_touches as f64 / incremental.waterfill_touches as f64
     } else {
         f64::INFINITY
     };
-    format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"net_churn\",\n",
-            "  \"incremental\": {},\n",
-            "  \"full\": {},\n",
-            "  \"waterfill_touch_ratio\": {}\n",
-            "}}\n"
-        ),
-        incremental.to_json(),
-        full.to_json(),
-        json_f64(ratio),
-    )
+    let mut j = JsonBuilder::new();
+    j.str("benchmark", "net_churn");
+    j.object("incremental", |j| incremental.fill(j));
+    j.object("full", |j| full.fill(j));
+    j.f64("waterfill_touch_ratio", ratio);
+    j.finish()
 }
 
 #[cfg(test)]

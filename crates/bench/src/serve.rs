@@ -259,7 +259,7 @@ fn json_f64(v: f64) -> String {
 impl ServeReport {
     /// Renders the report as a JSON object (no trailing newline). The
     /// workspace deliberately carries no JSON dependency, so this is
-    /// hand-rolled, like [`crate::perf::PerfReport::to_json`].
+    /// hand-rolled (not yet ported onto [`crate::harness::JsonBuilder`]).
     pub fn to_json(&self) -> String {
         let slo_rates = self
             .slo_rates

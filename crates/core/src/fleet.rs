@@ -1,0 +1,776 @@
+//! Sharded fleet simulation: O(100–1000) sites, one enclosure each,
+//! stepped in parallel under conservative time-window synchronization.
+//!
+//! Every other module simulates a single 60-SoC enclosure; the paper's
+//! deployment story (§2.3, Fig. 5) is a *fleet* of them serving millions
+//! of users across time zones. [`FleetSim`] owns one [`SiteShard`] per
+//! site — a full [`Orchestrator`] replaying that site's phase-shifted
+//! Fig. 5 gaming trace — plus a fleet-level control plane: a session
+//! placer that routes each site's user demand to a host site by
+//! (reachability, WAN RTT, load), and a seeded WAN-partition schedule
+//! that strands sessions and forces rerouting.
+//!
+//! # Conservative time-window synchronization
+//!
+//! Shards advance independently between *barriers* spaced one
+//! synchronization window apart, and all cross-site effects — session
+//! routing, departures, WAN faults — cross shard boundaries only at
+//! barrier instants. The window is required to be at least the WAN's
+//! minimum cross-site RTT ([`socc_net::wan::WanFabric::min_rtt`]): no
+//! physical signal could travel between sites faster than that, so
+//! delaying cross-site delivery to the next barrier never delivers a
+//! message earlier than the real system could, and within a window each
+//! shard provably cannot be affected by any other. That makes every
+//! window three phases:
+//!
+//! 1. **plan** (serial): the fleet control plane reads last window's
+//!    per-site reports, applies due WAN fault events, and turns each
+//!    site's trace demand into per-site commands (arrivals, departures);
+//! 2. **step** (parallel): each shard independently advances its
+//!    orchestrator to the barrier and applies its own commands — a pure
+//!    function of `(shard state, commands, barrier)`;
+//! 3. **absorb** (serial, site order): reports are folded into the fleet
+//!    digest, placer load estimates, and session bookkeeping.
+//!
+//! Because phases 1 and 3 are serial and phase 2 is per-shard pure, the
+//! run — including the bit-level result digest — is identical for any
+//! worker-thread count under a fixed seed. The parallel driver lives in
+//! `socc-bench` (this crate has no thread pool); [`FleetSim::take_window`]
+//! / [`FleetSim::absorb`] expose the step phase as a `Vec` of [`SiteJob`]s
+//! that any order-preserving map may execute.
+
+use socc_net::wan::WanFabric;
+use socc_sim::rng::SimRng;
+use socc_sim::series::TimeSeries;
+use socc_sim::span::{EventKind, EventLog, Scope};
+use socc_sim::time::{SimDuration, SimTime};
+
+use crate::orchestrator::{Orchestrator, OrchestratorConfig, OrchestratorStats};
+use crate::scheduler;
+use crate::workload::{WorkloadId, WorkloadSpec};
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of sites (one enclosure each).
+    pub sites: usize,
+    /// Geographic regions on the WAN ring (sites are phased across them).
+    pub regions: usize,
+    /// Simulated span of the run.
+    pub hours: u64,
+    /// Synchronization window (barrier spacing); must be ≥ the WAN RTT
+    /// floor or the conservative argument above breaks.
+    pub window: SimDuration,
+    /// Master seed for traces and the WAN fault schedule.
+    pub seed: u64,
+    /// Outbound bitrate per gaming session.
+    pub mbps_per_session: f64,
+    /// Placer's per-site admission estimate (sessions); the real
+    /// orchestrator may still reject below this if network-bound.
+    pub session_capacity: usize,
+    /// Expected WAN partitions over the whole run (Poisson).
+    pub mean_partitions: f64,
+    /// Mean partition length in windows beyond the first.
+    pub mean_partition_windows: f64,
+    /// Per-site idle-SoC sleep threshold.
+    pub sleep_after: Option<SimDuration>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            sites: 8,
+            regions: 8,
+            hours: 2,
+            window: SimDuration::from_secs(120),
+            seed: 42,
+            mbps_per_session: 10.0,
+            session_capacity: 480,
+            mean_partitions: 2.0,
+            mean_partition_windows: 3.0,
+            sleep_after: Some(SimDuration::from_secs(120)),
+        }
+    }
+}
+
+/// One site's enclosure: the per-shard simulation state.
+pub struct SiteShard {
+    site: usize,
+    orch: Orchestrator,
+}
+
+impl SiteShard {
+    /// The site index.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// The site's orchestrator (read-only; mutating it outside
+    /// [`SiteJob::step`] would break cross-thread determinism).
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+}
+
+/// Commands the control plane issues to one site for one window.
+/// Buffers are reused across windows — cleared, never reallocated in
+/// steady state.
+#[derive(Debug, Default, Clone)]
+pub struct SiteCommands {
+    /// Sessions to finish at the barrier (fleet departures plus stranded
+    /// sessions timed out after a heal).
+    departures: Vec<WorkloadId>,
+    /// Sessions to admit at the barrier, aggregated as
+    /// `(home_site, count)`.
+    arrivals: Vec<(u32, u32)>,
+    /// Outbound bitrate per admitted session (fixed per run).
+    mbps: f64,
+}
+
+/// What one shard reports back from one window. Buffers are reused.
+#[derive(Debug, Default, Clone)]
+pub struct SiteWindowReport {
+    /// Newly admitted sessions in submission order, tagged with the home
+    /// site whose demand they serve.
+    admitted: Vec<(u32, WorkloadId)>,
+    /// Arrivals the orchestrator rejected (site saturated).
+    rejected: u32,
+    /// Active workloads at the barrier.
+    active: usize,
+    /// Cumulative site energy at the barrier, joules.
+    energy_j: f64,
+    /// Instantaneous site power at the barrier, watts.
+    power_w: f64,
+    /// Orchestrator counters at the barrier.
+    stats: OrchestratorStats,
+}
+
+/// A site's unit of parallel work for one window: its shard, commands
+/// and report, movable across threads as a value.
+pub struct SiteJob {
+    shard: SiteShard,
+    commands: SiteCommands,
+    report: SiteWindowReport,
+    barrier: SimTime,
+}
+
+impl SiteJob {
+    /// The site index.
+    pub fn site(&self) -> usize {
+        self.shard.site
+    }
+
+    /// Steps the shard to the barrier and applies its commands — a pure
+    /// function of `(shard state, commands, barrier)`; safe to run on
+    /// any thread, in any order relative to other sites' jobs.
+    pub fn step(&mut self) {
+        let r = &mut self.report;
+        r.admitted.clear();
+        r.rejected = 0;
+        let orch = &mut self.shard.orch;
+        orch.advance_to(self.barrier);
+        for &id in &self.commands.departures {
+            // Departures only target sessions the control plane placed
+            // here and has not finished elsewhere.
+            orch.finish(id).expect("fleet-tracked session");
+        }
+        'arrivals: for bi in 0..self.commands.arrivals.len() {
+            let (home, count) = self.commands.arrivals[bi];
+            for done in 0..count {
+                match orch.submit(WorkloadSpec::GamingSession {
+                    stream_mbps: self.commands.mbps,
+                }) {
+                    Ok(id) => r.admitted.push((home, id)),
+                    Err(_) => {
+                        // Identical specs: once one is refused, the rest
+                        // of this window's arrivals would be too.
+                        r.rejected += count - done;
+                        r.rejected += self.commands.arrivals[bi + 1..]
+                            .iter()
+                            .map(|a| a.1)
+                            .sum::<u32>();
+                        break 'arrivals;
+                    }
+                }
+            }
+        }
+        let _ = orch.take_completions();
+        r.active = orch.active_workloads();
+        r.energy_j = orch.energy().as_joules();
+        r.power_w = orch.power().as_watts();
+        r.stats = orch.stats();
+    }
+}
+
+/// Totals accumulated over a fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetReport {
+    /// Sites simulated.
+    pub sites: usize,
+    /// Windows completed.
+    pub windows: usize,
+    /// Sessions the placer routed (total admissions requested).
+    pub routed: u64,
+    /// Routed sessions hosted away from their home site.
+    pub rerouted: u64,
+    /// Arrivals refused because no reachable site had estimated capacity.
+    pub unplaceable: u64,
+    /// Arrivals the host orchestrator rejected despite the estimate.
+    pub rejected: u64,
+    /// Sessions stranded by WAN partitions (timed out at heal).
+    pub stranded: u64,
+    /// WAN partitions applied.
+    pub partitions: u64,
+    /// Fleet energy over the run, kWh.
+    pub fleet_kwh: f64,
+    /// Peak instantaneous fleet power, watts.
+    pub peak_fleet_power_w: f64,
+}
+
+/// A planned WAN partition: `site` unreachable from `start` for `dur`
+/// windows.
+#[derive(Debug, Clone, Copy)]
+struct WanFault {
+    start: usize,
+    site: usize,
+    dur: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(hash: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Converts a traffic level in Gbps into concurrent sessions.
+fn sessions_for(gbps: f64, mbps_per_session: f64) -> usize {
+    (gbps * 1000.0 / mbps_per_session).round() as usize
+}
+
+/// The fleet simulator: shards, control plane, and synchronization.
+pub struct FleetSim {
+    cfg: FleetConfig,
+    wan: WanFabric,
+    /// Per-site jobs (shard + reusable command/report buffers), always in
+    /// site order except while loaned out between [`Self::take_window`]
+    /// and [`Self::absorb`].
+    jobs: Vec<SiteJob>,
+    /// Per-site phased demand traces, one sample per window.
+    traces: Vec<TimeSeries>,
+    /// Per home site: the LIFO stack of its live sessions as
+    /// `(host_site, id)`.
+    stacks: Vec<Vec<(u32, WorkloadId)>>,
+    /// Per host site: sessions stranded there by an ongoing partition,
+    /// finished (timed out) at heal.
+    stranded: Vec<Vec<WorkloadId>>,
+    /// Per-site placer load estimate (sessions), refreshed from reports.
+    load_est: Vec<usize>,
+    unreachable: Vec<bool>,
+    /// Remaining WAN faults, soonest last (popped as windows pass).
+    faults: Vec<WanFault>,
+    /// Heals scheduled as `(window, site)`, soonest last.
+    heals: Vec<(usize, usize)>,
+    /// Fleet-scope control-plane event ring.
+    events: EventLog,
+    /// Scratch: arrivals routed per host this window (reused).
+    routed_to: Vec<u32>,
+    /// Scratch: of those, arrivals rerouted away from home (reused).
+    rerouted_to: Vec<u32>,
+    window_idx: usize,
+    windows: usize,
+    digest: u64,
+    report: FleetReport,
+    planned: bool,
+}
+
+impl FleetSim {
+    /// Builds a fleet: per-site orchestrators, phase-shifted traces, and
+    /// a seeded WAN fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.sites == 0` or the synchronization window is
+    /// shorter than the WAN RTT floor (the conservative sync argument
+    /// requires `window ≥ min_rtt`).
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.sites > 0, "a fleet needs at least one site");
+        let wan = WanFabric::edge_fleet_regions(cfg.sites, cfg.regions);
+        assert!(
+            cfg.window >= wan.min_rtt(),
+            "window {:?} below the WAN RTT floor {:?}: conservative sync unsound",
+            cfg.window,
+            wan.min_rtt()
+        );
+        let root = SimRng::seed(cfg.seed);
+        let base_trace = socc_workloads::gaming::GamingTraceConfig::default();
+        let mut traces = Vec::with_capacity(cfg.sites);
+        let mut jobs = Vec::with_capacity(cfg.sites);
+        for site in 0..cfg.sites {
+            let mut rng = root.split(&format!("trace-site-{site}"));
+            let trace = base_trace.with_phase(wan.local_phase_hours(site)).generate(
+                SimDuration::from_hours(cfg.hours),
+                cfg.window,
+                &mut rng,
+            );
+            traces.push(trace);
+            jobs.push(SiteJob {
+                shard: SiteShard {
+                    site,
+                    orch: Orchestrator::new(OrchestratorConfig {
+                        scheduler: scheduler::by_name("bin-pack").expect("known"),
+                        sleep_after: cfg.sleep_after,
+                        ..OrchestratorConfig::default()
+                    }),
+                },
+                commands: SiteCommands {
+                    mbps: cfg.mbps_per_session,
+                    ..SiteCommands::default()
+                },
+                report: SiteWindowReport::default(),
+                barrier: SimTime::ZERO,
+            });
+        }
+        let windows = traces[0].len();
+
+        // WAN fault schedule: Poisson count of partitions, each at a
+        // uniform site and window with a 1 + Poisson length.
+        let mut frng = root.split("wan-faults");
+        let mut faults = Vec::new();
+        if cfg.mean_partitions > 0.0 && cfg.sites > 1 {
+            for _ in 0..frng.poisson(cfg.mean_partitions) {
+                faults.push(WanFault {
+                    start: frng.uniform_usize(0, windows),
+                    site: frng.uniform_usize(0, cfg.sites),
+                    dur: 1 + frng.poisson(cfg.mean_partition_windows) as usize,
+                });
+            }
+        }
+        // Soonest last so applying due faults is a pop.
+        faults.sort_by_key(|f| (std::cmp::Reverse(f.start), f.site, f.dur));
+
+        let mut events = EventLog::new(4096);
+        events.set_scopes(&[Scope::Fleet]);
+        Self {
+            wan,
+            jobs,
+            traces,
+            stacks: vec![Vec::new(); cfg.sites],
+            stranded: vec![Vec::new(); cfg.sites],
+            load_est: vec![0; cfg.sites],
+            unreachable: vec![false; cfg.sites],
+            faults,
+            heals: Vec::new(),
+            events,
+            routed_to: vec![0; cfg.sites],
+            rerouted_to: vec![0; cfg.sites],
+            window_idx: 0,
+            windows,
+            digest: FNV_OFFSET,
+            report: FleetReport {
+                sites: cfg.sites,
+                ..FleetReport::default()
+            },
+            planned: false,
+            cfg,
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The inter-site WAN fabric.
+    pub fn wan(&self) -> &WanFabric {
+        &self.wan
+    }
+
+    /// Total barrier windows in the run.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Windows completed so far.
+    pub fn windows_done(&self) -> usize {
+        self.window_idx
+    }
+
+    /// True once every window has been absorbed.
+    pub fn done(&self) -> bool {
+        self.window_idx >= self.windows
+    }
+
+    /// A site's shard (for inspection; jobs must not be loaned out).
+    pub fn shard(&self, site: usize) -> &SiteShard {
+        &self.jobs[site].shard
+    }
+
+    /// The fleet-scope control-plane event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The running result digest: an order-sensitive FNV-1a over every
+    /// absorbed per-site report (site order within each window). Unlike
+    /// the event ring it never evicts, so it witnesses the whole run.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// [`Self::digest`] as fixed-width hex.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+
+    /// Totals so far (complete once [`Self::done`]).
+    pub fn report(&self) -> FleetReport {
+        self.report
+    }
+
+    /// Phase 1 (serial): applies due WAN faults and turns each site's
+    /// trace demand into per-site commands. Returns `false` when the run
+    /// is complete. Must be followed by the step phase and
+    /// [`Self::absorb`] before the next call.
+    pub fn plan_window(&mut self) -> bool {
+        assert!(!self.planned, "plan_window called twice without absorb");
+        if self.done() {
+            return false;
+        }
+        let w = self.window_idx;
+        let barrier = SimTime::ZERO + self.cfg.window * w as u32;
+
+        // Heals first: a site that comes back this window may host again.
+        while let Some(&(at, site)) = self.heals.last() {
+            if at > w {
+                break;
+            }
+            self.heals.pop();
+            self.unreachable[site] = false;
+            self.events.record(
+                barrier,
+                Scope::Fleet,
+                EventKind::SiteHealed { site: site as u32 },
+            );
+            // Stranded sessions timed out during the partition: finish
+            // them now that commands can reach the site again.
+            let stranded = &mut self.stranded[site];
+            self.report.stranded += stranded.len() as u64;
+            self.jobs[site].commands.departures.append(stranded);
+        }
+        // Then new partitions.
+        while let Some(&f) = self.faults.last() {
+            if f.start > w {
+                break;
+            }
+            self.faults.pop();
+            if self.unreachable[f.site] {
+                continue; // already down; overlapping fault is absorbed
+            }
+            self.unreachable[f.site] = true;
+            self.report.partitions += 1;
+            self.heals.push((w + f.dur, f.site));
+            self.heals.sort_by(|a, b| b.cmp(a)); // soonest last; O(few)
+            self.events.record(
+                barrier,
+                Scope::Fleet,
+                EventKind::SiteUnreachable {
+                    site: f.site as u32,
+                },
+            );
+            // Sessions hosted there are cut off from their users: strand
+            // them (their homes will re-demand capacity elsewhere).
+            for stack in &mut self.stacks {
+                let stranded = &mut self.stranded[f.site];
+                stack.retain(|&(host, id)| {
+                    let hit = host as usize == f.site;
+                    if hit {
+                        stranded.push(id);
+                    }
+                    !hit
+                });
+            }
+        }
+
+        self.routed_to.iter_mut().for_each(|c| *c = 0);
+        self.rerouted_to.iter_mut().for_each(|c| *c = 0);
+        for home in 0..self.cfg.sites {
+            let target = sessions_for(self.traces[home].samples()[w].1, self.cfg.mbps_per_session);
+            let stack = &mut self.stacks[home];
+            // Departures: newest sessions leave first.
+            while stack.len() > target {
+                let (host, id) = stack.pop().expect("len > target ≥ 0");
+                self.jobs[host as usize].commands.departures.push(id);
+                self.load_est[host as usize] = self.load_est[host as usize].saturating_sub(1);
+            }
+            // Arrivals: home site if reachable and under the capacity
+            // estimate, else the closest (RTT, load, index) reachable
+            // site with headroom.
+            let mut need = target.saturating_sub(stack.len());
+            while need > 0 {
+                let host = if !self.unreachable[home]
+                    && self.load_est[home] < self.cfg.session_capacity
+                {
+                    Some(home)
+                } else {
+                    (0..self.cfg.sites)
+                        .filter(|&s| {
+                            !self.unreachable[s] && self.load_est[s] < self.cfg.session_capacity
+                        })
+                        .min_by_key(|&s| (self.wan.rtt(home, s).as_nanos(), self.load_est[s], s))
+                };
+                let Some(host) = host else {
+                    self.report.unplaceable += need as u64;
+                    break;
+                };
+                // All of this home's remaining need that fits the host's
+                // headroom goes there in one batch.
+                let headroom = self.cfg.session_capacity - self.load_est[host];
+                let batch = need.min(headroom);
+                self.load_est[host] += batch;
+                self.routed_to[host] += batch as u32;
+                if host != home {
+                    self.rerouted_to[host] += batch as u32;
+                }
+                self.jobs[host]
+                    .commands
+                    .arrivals
+                    .push((home as u32, batch as u32));
+                need -= batch;
+            }
+        }
+        for site in 0..self.cfg.sites {
+            let (routed, rerouted) = (self.routed_to[site], self.rerouted_to[site]);
+            self.report.routed += u64::from(routed);
+            self.report.rerouted += u64::from(rerouted);
+            if routed > 0 {
+                self.events.record(
+                    barrier,
+                    Scope::Fleet,
+                    EventKind::SessionsRouted {
+                        site: site as u32,
+                        count: routed,
+                    },
+                );
+            }
+            if rerouted > 0 {
+                self.events.record(
+                    barrier,
+                    Scope::Fleet,
+                    EventKind::SessionsRerouted {
+                        site: site as u32,
+                        count: rerouted,
+                    },
+                );
+            }
+            self.jobs[site].barrier = barrier;
+        }
+        self.planned = true;
+        true
+    }
+
+    /// Loans out the planned window's jobs for the (parallelizable) step
+    /// phase. Every job must be stepped exactly once and the whole `Vec`
+    /// handed back to [`Self::absorb`] in unchanged order.
+    pub fn take_window(&mut self) -> Vec<SiteJob> {
+        assert!(self.planned, "take_window before plan_window");
+        std::mem::take(&mut self.jobs)
+    }
+
+    /// Phase 3 (serial, site order): takes the stepped jobs back and
+    /// folds their reports into the digest, totals, session stacks and
+    /// placer estimates.
+    pub fn absorb(&mut self, jobs: Vec<SiteJob>) {
+        assert!(self.planned, "absorb before plan_window");
+        assert!(self.jobs.is_empty(), "absorb with jobs not taken");
+        assert_eq!(jobs.len(), self.cfg.sites, "job set split or truncated");
+        self.jobs = jobs;
+        let mut fleet_power = 0.0;
+        for site in 0..self.cfg.sites {
+            let job = &mut self.jobs[site];
+            assert_eq!(job.shard.site, site, "absorb must preserve site order");
+            let r = &job.report;
+            for &(home, id) in &r.admitted {
+                self.stacks[home as usize].push((site as u32, id));
+            }
+            // The orchestrator's count is authoritative; rejections made
+            // the plan-time estimate optimistic.
+            self.load_est[site] = r.active;
+            self.report.rejected += u64::from(r.rejected);
+            fleet_power += r.power_w;
+
+            fnv_fold(&mut self.digest, self.window_idx as u64);
+            fnv_fold(&mut self.digest, site as u64);
+            fnv_fold(&mut self.digest, r.active as u64);
+            fnv_fold(&mut self.digest, u64::from(r.rejected));
+            fnv_fold(&mut self.digest, r.stats.admitted);
+            fnv_fold(&mut self.digest, r.stats.completed);
+            fnv_fold(&mut self.digest, r.stats.wakeups);
+            fnv_fold(&mut self.digest, r.energy_j.to_bits());
+            fnv_fold(&mut self.digest, r.power_w.to_bits());
+
+            job.commands.departures.clear();
+            job.commands.arrivals.clear();
+        }
+        self.report.peak_fleet_power_w = self.report.peak_fleet_power_w.max(fleet_power);
+        self.window_idx += 1;
+        self.report.windows = self.window_idx;
+        self.planned = false;
+        if self.done() {
+            self.report.fleet_kwh =
+                self.jobs.iter().map(|j| j.report.energy_j).sum::<f64>() / 3.6e6;
+        }
+    }
+
+    /// Plans, steps (sequentially, in site order) and absorbs one window.
+    /// Returns `false` when the run is already complete.
+    pub fn step_window(&mut self) -> bool {
+        if !self.plan_window() {
+            return false;
+        }
+        let mut jobs = self.take_window();
+        for job in &mut jobs {
+            job.step();
+        }
+        self.absorb(jobs);
+        true
+    }
+
+    /// Runs the whole fleet sequentially to completion.
+    pub fn run_to_end(&mut self) {
+        while self.step_window() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetConfig {
+        FleetConfig {
+            sites: 4,
+            hours: 2,
+            window: SimDuration::from_secs(120),
+            seed: 7,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_runs_to_completion_and_serves_sessions() {
+        let mut fleet = FleetSim::new(small());
+        fleet.run_to_end();
+        let r = fleet.report();
+        assert_eq!(r.windows, fleet.windows());
+        assert!(r.routed > 0, "{r:?}");
+        assert!(r.fleet_kwh > 0.0);
+        assert_eq!(r.unplaceable, 0, "Fig. 5 demand fits the fleet: {r:?}");
+        assert_eq!(r.rejected, 0, "{r:?}");
+    }
+
+    #[test]
+    fn sequential_runs_are_bit_identical() {
+        let mut a = FleetSim::new(small());
+        let mut b = FleetSim::new(small());
+        a.run_to_end();
+        b.run_to_end();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.events().digest(), b.events().digest());
+    }
+
+    #[test]
+    fn out_of_order_stepping_matches_in_order() {
+        // The step phase must commute: stepping jobs in reverse site
+        // order (as a work-stealing pool might) changes nothing.
+        let mut a = FleetSim::new(small());
+        let mut b = FleetSim::new(small());
+        a.run_to_end();
+        while b.plan_window() {
+            let mut jobs = b.take_window();
+            for job in jobs.iter_mut().rev() {
+                job.step();
+            }
+            b.absorb(jobs);
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn partitions_strand_and_reroute() {
+        let cfg = FleetConfig {
+            mean_partitions: 6.0,
+            mean_partition_windows: 6.0,
+            hours: 4,
+            seed: 11,
+            ..small()
+        };
+        let mut fleet = FleetSim::new(cfg);
+        fleet.run_to_end();
+        let r = fleet.report();
+        assert!(r.partitions > 0, "seed must yield partitions: {r:?}");
+        assert!(r.stranded > 0, "{r:?}");
+        assert!(r.rerouted > 0, "{r:?}");
+        // Every stranded session was eventually finished: live sessions
+        // equal the sum of home stacks.
+        let live: usize = (0..cfg.sites)
+            .map(|s| fleet.shard(s).orchestrator().active_workloads())
+            .sum();
+        let tracked: usize = fleet.stacks.iter().map(Vec::len).sum();
+        assert_eq!(live, tracked);
+    }
+
+    #[test]
+    fn no_faults_means_no_rerouting() {
+        let mut fleet = FleetSim::new(FleetConfig {
+            mean_partitions: 0.0,
+            ..small()
+        });
+        fleet.run_to_end();
+        let r = fleet.report();
+        assert_eq!(r.partitions, 0);
+        assert_eq!(r.rerouted, 0, "capacity never forces rerouting: {r:?}");
+        assert_eq!(r.stranded, 0);
+    }
+
+    #[test]
+    fn diurnal_phasing_flattens_the_fleet_envelope() {
+        // Phased sites peak at different windows, so fleet peak power is
+        // well below sites × single-site peak.
+        let cfg = FleetConfig {
+            sites: 8,
+            regions: 8,
+            hours: 24,
+            mean_partitions: 0.0,
+            ..FleetConfig::default()
+        };
+        let mut fleet = FleetSim::new(cfg);
+        fleet.run_to_end();
+        let fleet_peak = fleet.report().peak_fleet_power_w;
+
+        let mut lone = FleetSim::new(FleetConfig {
+            sites: 1,
+            regions: 1,
+            ..cfg
+        });
+        lone.run_to_end();
+        let site_peak = lone.report().peak_fleet_power_w;
+        assert!(
+            fleet_peak < 0.9 * 8.0 * site_peak,
+            "fleet {fleet_peak} vs 8 × site {site_peak}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "WAN RTT floor")]
+    fn sub_rtt_window_is_rejected() {
+        let _ = FleetSim::new(FleetConfig {
+            window: SimDuration::from_millis(5),
+            ..small()
+        });
+    }
+}

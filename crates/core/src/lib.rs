@@ -33,6 +33,7 @@ pub mod detector;
 pub mod evacuation;
 pub mod experiments;
 pub mod faults;
+pub mod fleet;
 pub mod gaming;
 pub mod orchestrator;
 pub mod placement_index;

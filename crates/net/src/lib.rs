@@ -40,6 +40,7 @@ pub mod packet;
 pub mod sim;
 pub mod tcp;
 pub mod topology;
+pub mod wan;
 
 pub use failure::FailureAwareRouting;
 pub use packet::{PacketConfig, PacketFlowId, PacketNet};

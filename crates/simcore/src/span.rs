@@ -46,11 +46,13 @@ pub enum Scope {
     Video = 7,
     /// Energy accounting (ledger conservation checkpoints).
     Energy = 8,
+    /// Fleet-level control plane: cross-site routing and WAN faults.
+    Fleet = 9,
 }
 
 impl Scope {
     /// Every scope, in tag order.
-    pub const ALL: [Scope; 9] = [
+    pub const ALL: [Scope; 10] = [
         Scope::Placement,
         Scope::Power,
         Scope::Fault,
@@ -60,6 +62,7 @@ impl Scope {
         Scope::Serving,
         Scope::Video,
         Scope::Energy,
+        Scope::Fleet,
     ];
 
     /// The scope's bit in an [`EventLog`] filter mask.
@@ -79,6 +82,7 @@ impl Scope {
             Scope::Serving => "serving",
             Scope::Video => "video",
             Scope::Energy => "energy",
+            Scope::Fleet => "fleet",
         }
     }
 }
@@ -293,6 +297,31 @@ pub enum EventKind {
         /// Transfers held back in this pacing decision.
         held: u64,
     },
+    /// A site's WAN uplink partitioned from the fleet control plane.
+    SiteUnreachable {
+        /// Site index.
+        site: u32,
+    },
+    /// A partitioned site's WAN uplink healed.
+    SiteHealed {
+        /// Site index.
+        site: u32,
+    },
+    /// Sessions the fleet placer routed to a site in one sync window.
+    SessionsRouted {
+        /// Target site index.
+        site: u32,
+        /// Sessions routed this window.
+        count: u32,
+    },
+    /// Sessions diverted away from their home site (partition or no
+    /// capacity) in one sync window.
+    SessionsRerouted {
+        /// Home site the sessions were diverted from.
+        site: u32,
+        /// Sessions rerouted this window.
+        count: u32,
+    },
     /// A transcode session was planned.
     SessionPlanned {
         /// Frames the session covers.
@@ -356,6 +385,10 @@ impl EventKind {
             EventKind::EcnMarked { .. } => "ecn_marked",
             EventKind::CwndReduced { .. } => "cwnd_reduced",
             EventKind::EvacuationPaced { .. } => "evacuation_paced",
+            EventKind::SiteUnreachable { .. } => "site_unreachable",
+            EventKind::SiteHealed { .. } => "site_healed",
+            EventKind::SessionsRouted { .. } => "sessions_routed",
+            EventKind::SessionsRerouted { .. } => "sessions_rerouted",
             EventKind::SessionPlanned { .. } => "session_planned",
             EventKind::ServeEvaluated { .. } => "serve_evaluated",
             EventKind::SpanBegin { .. } => "span_begin",
@@ -423,6 +456,14 @@ impl EventKind {
             | EventKind::EcnMarked { link } => return [Some(("link", U64(u64::from(link)))), None],
             EventKind::CwndReduced { flow } => return [Some(("flow", U64(flow))), None],
             EventKind::EvacuationPaced { held } => return [Some(("held", U64(held))), None],
+            EventKind::SiteUnreachable { site } | EventKind::SiteHealed { site } => {
+                return [Some(("site", U64(u64::from(site)))), None]
+            }
+            EventKind::SessionsRouted { site, count }
+            | EventKind::SessionsRerouted { site, count } => Some([
+                ("site", U64(u64::from(site))),
+                ("count", U64(u64::from(count))),
+            ]),
             EventKind::SessionPlanned { frames } => return [Some(("frames", U64(frames))), None],
             EventKind::ServeEvaluated { fps_milli } => {
                 return [Some(("fps_milli", U64(fps_milli))), None]

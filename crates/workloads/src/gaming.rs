@@ -24,6 +24,12 @@ pub struct GamingTraceConfig {
     pub sharpness: f64,
     /// Log-normal noise sigma.
     pub noise_sigma: f64,
+    /// Local-time offset in hours: the site's population lives this many
+    /// hours ahead of the trace clock, so its evening peak arrives
+    /// `phase_hours` earlier. Fleet simulations phase sites across time
+    /// zones with this so the fleet-wide envelope flattens while every
+    /// site keeps the Fig. 5 diurnal shape.
+    pub phase_hours: f64,
 }
 
 impl Default for GamingTraceConfig {
@@ -35,15 +41,26 @@ impl Default for GamingTraceConfig {
             peak_hour: 21.0,
             sharpness: 3.0,
             noise_sigma: 0.10,
+            phase_hours: 0.0,
         }
     }
 }
 
 impl GamingTraceConfig {
+    /// Returns the config shifted by `hours` of local-time offset.
+    pub fn with_phase(self, hours: f64) -> Self {
+        Self {
+            phase_hours: hours,
+            ..self
+        }
+    }
+
     /// Deterministic diurnal envelope in `[0, 1]` at an hour of day.
     pub fn envelope(&self, hour_of_day: f64) -> f64 {
-        // Cosine bump centred on the peak hour, raised to `sharpness`.
-        let phase = (hour_of_day - self.peak_hour) / 24.0 * core::f64::consts::TAU;
+        // Cosine bump centred on the peak hour in the site's local time
+        // (trace hour + phase offset), raised to `sharpness`.
+        let phase =
+            (hour_of_day + self.phase_hours - self.peak_hour) / 24.0 * core::f64::consts::TAU;
         let base = (1.0 + phase.cos()) / 2.0;
         base.powf(self.sharpness)
     }
@@ -153,6 +170,21 @@ mod tests {
         }
         // Deep trough opposite the peak.
         assert!(cfg.envelope(cfg.peak_hour - 12.0) < 0.01);
+    }
+
+    #[test]
+    fn phase_shifts_the_peak_without_changing_its_height() {
+        let base = GamingTraceConfig::default();
+        let shifted = base.with_phase(6.0);
+        // A population 6 h ahead peaks 6 h earlier on the trace clock.
+        assert!((shifted.envelope(base.peak_hour - 6.0) - 1.0).abs() < 1e-9);
+        assert!(shifted.envelope(base.peak_hour) < 0.3);
+        // The envelope is the same curve, just translated.
+        for hour in [0.0, 5.0, 11.0, 17.0, 23.0] {
+            let a = base.envelope(hour);
+            let b = shifted.envelope(hour - 6.0);
+            assert!((a - b).abs() < 1e-9, "hour {hour}: {a} vs {b}");
+        }
     }
 
     #[test]
