@@ -73,6 +73,18 @@
 //!     --sites 256 --hours 24 --window 120 --out BENCH_fleet.json
 //! ```
 //!
+//! `bench --video` runs the production-scale live-transcoding farm day —
+//! thousands of diurnal sessions with ABR churn and a board-down fault at
+//! the 21:00 peak — once on the analytic steady-state fast path and once
+//! as tick-level simulation over the identical schedule, cross-checks the
+//! two (bit-identical placements, float-tolerance integrals), and writes
+//! `BENCH_video.json` with per-session energy from the component ledger:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --video \
+//!     --hours 24 --peak 500 --out BENCH_video.json
+//! ```
+//!
 //! `--check BASELINE.json` additionally compares against a committed
 //! baseline and exits non-zero on regression: for `--perf`, if events/sec
 //! dropped by more than 30%, the incremental path stopped being ≥5×
@@ -91,7 +103,11 @@
 //! baseline or single-thread windows/sec dropped by more than 30%
 //! (digest mismatch across worker counts, a modeled 8-worker speedup
 //! below 4×, and a leaky coordination loop fail even without a
-//! baseline).
+//! baseline); for `--video`, if the analytic fast path stopped being ≥5×
+//! faster than simulation, a quiet span allocated, the two modes
+//! disagreed, the full-day fault struck fewer than 1000 live sessions, or
+//! the farm digest / per-session energy drifted from a same-config
+//! baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -108,6 +124,7 @@ use socc_bench::netvalidate::{
 use socc_bench::perf::{churn, comparison_json, PerfOptions};
 use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
 use socc_bench::tracebench::{trace_overhead, TraceOptions, MAX_OVERHEAD_PCT};
+use socc_bench::video::{run_video, VideoOptions, MIN_LIVE_AT_FAULT, MIN_SPEEDUP};
 
 /// Counts every heap allocation; the perf harness samples it around the
 /// measured phase to prove the hot path is allocation-free.
@@ -147,7 +164,10 @@ struct Args {
     trace: bool,
     netval: bool,
     fleet: bool,
+    video: bool,
     sites: usize,
+    socs: usize,
+    peak: f64,
     hours: u64,
     window: u64,
     cases: usize,
@@ -171,7 +191,10 @@ fn parse_args() -> Result<Args, String> {
         trace: false,
         netval: false,
         fleet: false,
+        video: false,
         sites: 256,
+        socs: socc_hw::calib::CLUSTER_SOC_COUNT,
+        peak: 500.0,
         hours: 24,
         window: 120,
         cases: 200,
@@ -196,6 +219,17 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--netval" => args.netval = true,
             "--fleet" => args.fleet = true,
+            "--video" => args.video = true,
+            "--socs" => {
+                args.socs = value("--socs")?
+                    .parse()
+                    .map_err(|e| format!("--socs: {e}"))?
+            }
+            "--peak" => {
+                args.peak = value("--peak")?
+                    .parse()
+                    .map_err(|e| format!("--peak: {e}"))?
+            }
             "--sites" => {
                 args.sites = value("--sites")?
                     .parse()
@@ -727,6 +761,121 @@ fn run_fleet_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_video_cmd(args: &Args) -> Result<(), String> {
+    let opts = VideoOptions {
+        socs: args.socs,
+        horizon_secs: args.hours * 3600,
+        peak_arrivals_per_hour: args.peak,
+        seed: args.seed,
+        reps: args.reps.min(5),
+    };
+    let report = run_video(&opts, &alloc_count);
+    let doc = socc_bench::video::report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    // Absolute gates — the fast path's own contract, independent of any
+    // baseline: the speedup floor, an allocation-free analytic phase,
+    // two-mode agreement, and (on the full day) a board fault that lands
+    // amid four-digit live-session counts and migrates streams at
+    // GOP-checkpoint MTTRs.
+    let speedup = report.speedup();
+    let mut failures = Vec::new();
+    if speedup < MIN_SPEEDUP {
+        failures.push(format!(
+            "analytic fast path no longer ≥{MIN_SPEEDUP}× over simulation (speedup {speedup:.2})"
+        ));
+    }
+    if report.analytic.steady_allocs != 0 {
+        failures.push(format!(
+            "analytic quiet spans allocated {} times",
+            report.analytic.steady_allocs
+        ));
+    }
+    if !report.modes_agree() {
+        failures.push(format!(
+            "analytic and simulation modes disagree (digest/counters match: {}, \
+             integral err {:.3e}, energy err {:.3e})",
+            report.exact_fields_match(),
+            report.integral_rel_err(),
+            report.energy_rel_err()
+        ));
+    }
+    if report.analytic.migrations == 0 {
+        failures.push("board fault migrated no live sessions".to_string());
+    }
+    if opts.horizon_secs >= 86_400 && report.analytic.concurrent_at_fault < MIN_LIVE_AT_FAULT {
+        failures.push(format!(
+            "fault struck only {} live sessions (< {MIN_LIVE_AT_FAULT}) on the full day",
+            report.analytic.concurrent_at_fault
+        ));
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let same_config = [
+            ("socs", opts.socs as f64),
+            ("horizon_secs", opts.horizon_secs as f64),
+            ("peak_arrivals_per_hour", opts.peak_arrivals_per_hour),
+            ("seed", opts.seed as f64),
+        ]
+        .iter()
+        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
+        if same_config {
+            if !baseline.contains(&format!("\"digest\": \"{:016x}\"", report.analytic.digest)) {
+                failures.push(format!(
+                    "farm digest {:016x} differs from baseline — placement behaviour \
+                     drifted; refresh BENCH_video.json deliberately",
+                    report.analytic.digest
+                ));
+            }
+            if let Some(base_e) = extract(&baseline, "energy", "per_session_hour_j") {
+                let run_e = report.analytic.energy_per_session_hour_j();
+                if (run_e - base_e).abs() > 1e-3 + 1e-6 * base_e.abs() {
+                    failures.push(format!(
+                        "per-session energy drifted: {run_e:.3} J/session-hour vs baseline \
+                         {base_e:.3} — the power model changed; refresh BENCH_video.json \
+                         deliberately",
+                    ));
+                }
+            }
+        } else {
+            eprintln!("video check: baseline config differs; skipping digest comparison");
+        }
+        if same_config {
+            if let Some(base_ms) = extract(&baseline, "analytic", "elapsed_ms") {
+                if report.analytic_ms > 1.3 * base_ms {
+                    failures.push(format!(
+                        "analytic farm-day regressed >30%: {:.1} ms vs baseline {base_ms:.1} ms",
+                        report.analytic_ms
+                    ));
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "video check ok: {} sessions / {} events, {speedup:.1}x analytic over simulation \
+         ({:.1} ms vs {:.1} ms), 0 quiet-span allocs, {} live at fault, {} migrations at \
+         {:.1} ms mean MTTR, {:.1} J/session-hour",
+        report.sessions,
+        report.events,
+        report.analytic_ms,
+        report.simulation_ms,
+        report.analytic.concurrent_at_fault,
+        report.analytic.migrations,
+        report.analytic.mttr_mean_ms(),
+        report.analytic.energy_per_session_hour_j(),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -735,9 +884,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf && !args.serve && !args.chaos && !args.trace && !args.netval && !args.fleet {
+    if !args.perf
+        && !args.serve
+        && !args.chaos
+        && !args.trace
+        && !args.netval
+        && !args.fleet
+        && !args.video
+    {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]\n       bench --video [--socs N] [--hours N] [--peak RATE] [--reps N] [--seed N] [--out FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
@@ -751,6 +907,8 @@ fn main() -> ExitCode {
         run_netval_cmd(&args)
     } else if args.fleet {
         run_fleet_cmd(&args)
+    } else if args.video {
+        run_video_cmd(&args)
     } else {
         run_chaos_cmd(&args)
     };

@@ -31,6 +31,8 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use crate::harness::JsonBuilder;
+
 use socc_cluster::faults::{
     DomainFault, FailureDomains, FaultEvent, FaultInjector, FaultKind, FaultSchedule,
 };
@@ -645,9 +647,11 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the `BENCH_chaos.json` artifact.
+/// Renders the `BENCH_chaos.json` artifact on [`JsonBuilder`]. Floats
+/// stay on the mode's four-decimal `json_f64` (via `raw`), so the port
+/// is byte-identical to the hand-rolled emitter it replaced and the
+/// committed baseline stays valid.
 pub fn report_json(r: &ChaosReport) -> String {
-    use std::fmt::Write as _;
     let total_truncated: usize = r
         .outcomes
         .iter()
@@ -655,92 +659,73 @@ pub fn report_json(r: &ChaosReport) -> String {
         .map(|o| o.truncated_events)
         .sum();
     let sum = |f: fn(&CampaignOutcome) -> u64| r.outcomes.iter().map(f).sum::<u64>();
-    let mut mttr = String::new();
-    for (i, c) in r.mttr.iter().enumerate() {
-        let _ = writeln!(
-            mttr,
-            "    \"{}\": {{ \"count\": {}, \"mean_ms\": {}, \"p50_ms\": {} }}{}",
-            c.class,
-            c.count,
-            json_f64(c.mean_ms),
-            json_f64(c.p50_ms),
-            if i + 1 == r.mttr.len() { "" } else { "," }
-        );
-    }
-    let mut viols = String::new();
-    for (i, v) in r.violations.iter().enumerate() {
-        let _ = writeln!(
-            viols,
-            "    \"campaign {} ({}): {}; minimal schedule {} events; repro: {}\"{}",
-            v.campaign,
-            if v.correlated {
-                "correlated"
-            } else {
-                "independent"
-            },
-            json_escape(&v.detail),
-            v.minimal_events,
-            json_escape(&v.repro),
-            if i + 1 == r.violations.len() { "" } else { "," }
-        );
-    }
-    format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"chaos\",\n",
-            "  \"campaigns\": {},\n",
-            "  \"seed\": {},\n",
-            "  \"horizon_secs\": {},\n",
-            "  \"availability_floor\": {},\n",
-            "  \"elapsed_secs\": {},\n",
-            "  \"campaigns_per_sec\": {},\n",
-            "  \"invariant_violations\": {},\n",
-            "  \"truncated_events\": {},\n",
-            "  \"availability\": {{\n",
-            "    \"independent_mean\": {},\n",
-            "    \"independent_min\": {},\n",
-            "    \"correlated_mean\": {},\n",
-            "    \"correlated_min\": {},\n",
-            "    \"correlation_gap\": {}\n",
-            "  }},\n",
-            "  \"mttr_ms\": {{\n",
-            "{}",
-            "  }},\n",
-            "  \"counters\": {{\n",
-            "    \"workloads_shed\": {},\n",
-            "    \"workloads_lost\": {},\n",
-            "    \"migrations\": {},\n",
-            "    \"retries\": {},\n",
-            "    \"partitions_detected\": {},\n",
-            "    \"anti_affinity_fallbacks\": {}\n",
-            "  }},\n",
-            "  \"violations\": [\n",
-            "{}",
-            "  ]\n",
-            "}}\n"
-        ),
-        r.options.campaigns,
-        r.options.seed,
-        r.options.horizon_secs,
-        json_f64(r.options.availability_floor),
-        json_f64(r.elapsed_secs),
-        json_f64(r.campaigns_per_sec),
-        r.violations.len(),
-        total_truncated,
-        json_f64(r.independent_mean),
-        json_f64(r.independent_min),
-        json_f64(r.correlated_mean),
-        json_f64(r.correlated_min),
-        json_f64(r.independent_mean - r.correlated_mean),
-        mttr,
-        sum(|o| o.sheds),
-        sum(|o| o.losses),
-        sum(|o| o.migrations),
-        sum(|o| o.retries),
-        sum(|o| o.partitions_detected),
-        sum(|o| o.anti_affinity_fallbacks),
-        viols,
-    )
+    let mut j = JsonBuilder::new();
+    j.str("benchmark", "chaos")
+        .int("campaigns", r.options.campaigns as u64)
+        .int("seed", r.options.seed)
+        .int("horizon_secs", r.options.horizon_secs)
+        .raw(
+            "availability_floor",
+            &json_f64(r.options.availability_floor),
+        )
+        .raw("elapsed_secs", &json_f64(r.elapsed_secs))
+        .raw("campaigns_per_sec", &json_f64(r.campaigns_per_sec))
+        .int("invariant_violations", r.violations.len() as u64)
+        .int("truncated_events", total_truncated as u64);
+    j.object("availability", |j| {
+        j.raw("independent_mean", &json_f64(r.independent_mean))
+            .raw("independent_min", &json_f64(r.independent_min))
+            .raw("correlated_mean", &json_f64(r.correlated_mean))
+            .raw("correlated_min", &json_f64(r.correlated_min))
+            .raw(
+                "correlation_gap",
+                &json_f64(r.independent_mean - r.correlated_mean),
+            );
+    });
+    j.object("mttr_ms", |j| {
+        for c in &r.mttr {
+            j.raw(
+                c.class,
+                &format!(
+                    "{{ \"count\": {}, \"mean_ms\": {}, \"p50_ms\": {} }}",
+                    c.count,
+                    json_f64(c.mean_ms),
+                    json_f64(c.p50_ms)
+                ),
+            );
+        }
+    });
+    j.object("counters", |j| {
+        j.int("workloads_shed", sum(|o| o.sheds))
+            .int("workloads_lost", sum(|o| o.losses))
+            .int("migrations", sum(|o| o.migrations))
+            .int("retries", sum(|o| o.retries))
+            .int("partitions_detected", sum(|o| o.partitions_detected))
+            .int(
+                "anti_affinity_fallbacks",
+                sum(|o| o.anti_affinity_fallbacks),
+            );
+    });
+    let viols: Vec<String> = r
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "\"campaign {} ({}): {}; minimal schedule {} events; repro: {}\"",
+                v.campaign,
+                if v.correlated {
+                    "correlated"
+                } else {
+                    "independent"
+                },
+                json_escape(&v.detail),
+                v.minimal_events,
+                json_escape(&v.repro),
+            )
+        })
+        .collect();
+    j.list("violations", &viols);
+    j.finish()
 }
 
 #[cfg(test)]
@@ -851,5 +836,133 @@ mod tests {
         assert!(doc.contains("\"crash\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    /// The retired hand-rolled emitter, kept verbatim as the fixture the
+    /// [`JsonBuilder`] port must reproduce byte for byte (the committed
+    /// `BENCH_chaos.json` baseline was generated with this code).
+    fn handrolled_report_json(r: &ChaosReport) -> String {
+        use std::fmt::Write as _;
+        let total_truncated: usize = r
+            .outcomes
+            .iter()
+            .filter(|o| o.correlated)
+            .map(|o| o.truncated_events)
+            .sum();
+        let sum = |f: fn(&CampaignOutcome) -> u64| r.outcomes.iter().map(f).sum::<u64>();
+        let mut mttr = String::new();
+        for (i, c) in r.mttr.iter().enumerate() {
+            let _ = writeln!(
+                mttr,
+                "    \"{}\": {{ \"count\": {}, \"mean_ms\": {}, \"p50_ms\": {} }}{}",
+                c.class,
+                c.count,
+                json_f64(c.mean_ms),
+                json_f64(c.p50_ms),
+                if i + 1 == r.mttr.len() { "" } else { "," }
+            );
+        }
+        let mut viols = String::new();
+        for (i, v) in r.violations.iter().enumerate() {
+            let _ = writeln!(
+                viols,
+                "    \"campaign {} ({}): {}; minimal schedule {} events; repro: {}\"{}",
+                v.campaign,
+                if v.correlated {
+                    "correlated"
+                } else {
+                    "independent"
+                },
+                json_escape(&v.detail),
+                v.minimal_events,
+                json_escape(&v.repro),
+                if i + 1 == r.violations.len() { "" } else { "," }
+            );
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"chaos\",\n",
+                "  \"campaigns\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"horizon_secs\": {},\n",
+                "  \"availability_floor\": {},\n",
+                "  \"elapsed_secs\": {},\n",
+                "  \"campaigns_per_sec\": {},\n",
+                "  \"invariant_violations\": {},\n",
+                "  \"truncated_events\": {},\n",
+                "  \"availability\": {{\n",
+                "    \"independent_mean\": {},\n",
+                "    \"independent_min\": {},\n",
+                "    \"correlated_mean\": {},\n",
+                "    \"correlated_min\": {},\n",
+                "    \"correlation_gap\": {}\n",
+                "  }},\n",
+                "  \"mttr_ms\": {{\n",
+                "{}",
+                "  }},\n",
+                "  \"counters\": {{\n",
+                "    \"workloads_shed\": {},\n",
+                "    \"workloads_lost\": {},\n",
+                "    \"migrations\": {},\n",
+                "    \"retries\": {},\n",
+                "    \"partitions_detected\": {},\n",
+                "    \"anti_affinity_fallbacks\": {}\n",
+                "  }},\n",
+                "  \"violations\": [\n",
+                "{}",
+                "  ]\n",
+                "}}\n"
+            ),
+            r.options.campaigns,
+            r.options.seed,
+            r.options.horizon_secs,
+            json_f64(r.options.availability_floor),
+            json_f64(r.elapsed_secs),
+            json_f64(r.campaigns_per_sec),
+            r.violations.len(),
+            total_truncated,
+            json_f64(r.independent_mean),
+            json_f64(r.independent_min),
+            json_f64(r.correlated_mean),
+            json_f64(r.correlated_min),
+            json_f64(r.independent_mean - r.correlated_mean),
+            mttr,
+            sum(|o| o.sheds),
+            sum(|o| o.losses),
+            sum(|o| o.migrations),
+            sum(|o| o.retries),
+            sum(|o| o.partitions_detected),
+            sum(|o| o.anti_affinity_fallbacks),
+            viols,
+        )
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_to_the_handrolled_emitter() {
+        // A clean sweep pins the empty-array shape every committed
+        // baseline carries.
+        let clean = run_chaos(&small());
+        assert!(clean.violations.is_empty(), "fixture sweep must be clean");
+        assert_eq!(report_json(&clean), handrolled_report_json(&clean));
+
+        // Synthetic violations exercise the array items and the
+        // escaping path the clean sweep leaves idle.
+        let mut dirty = clean;
+        dirty.violations.push(ViolationRecord {
+            campaign: 3,
+            correlated: true,
+            detail: "availability 0.80 < floor \"0.90\" (path \\x)".to_string(),
+            minimal_events: 5,
+            repro: "bench --chaos --seed 42 --step 3".to_string(),
+        });
+        dirty.violations.push(ViolationRecord {
+            campaign: 4,
+            correlated: false,
+            detail: "workload lost".to_string(),
+            minimal_events: 2,
+            repro: "bench --chaos --seed 42 --step 4".to_string(),
+        });
+        assert_eq!(report_json(&dirty), handrolled_report_json(&dirty));
     }
 }

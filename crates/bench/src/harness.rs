@@ -128,6 +128,31 @@ impl JsonBuilder {
         self
     }
 
+    /// Emits an array of pre-rendered items, one per line at one deeper
+    /// indent — the hand-rolled `violations`/`failures` array format.
+    /// Items carry their own quoting and escaping; an empty slice
+    /// renders as an open bracket, a newline, and a closing bracket at
+    /// the current indent.
+    pub fn list(&mut self, key: &str, items: &[String]) -> &mut Self {
+        self.key(key);
+        self.out.push_str("[\n");
+        for (i, item) in items.iter().enumerate() {
+            for _ in 0..=self.depth {
+                self.out.push_str("  ");
+            }
+            self.out.push_str(item);
+            if i + 1 != items.len() {
+                self.out.push(',');
+            }
+            self.out.push('\n');
+        }
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push(']');
+        self
+    }
+
     /// Closes the root object (with the trailing newline every
     /// `BENCH_*.json` ends in) and returns the document.
     pub fn finish(mut self) -> String {
@@ -225,6 +250,47 @@ mod tests {
             "    \"ratio\": 1.500\n",
             "  },\n",
             "  \"headline\": null\n",
+            "}\n"
+        );
+        assert_eq!(doc, expected);
+    }
+
+    #[test]
+    fn list_reproduces_the_handrolled_array_format() {
+        // Non-empty: items at one deeper indent, comma on all but the
+        // last, closing bracket back at the key's indent.
+        let mut j = JsonBuilder::new();
+        j.int("count", 2);
+        j.list(
+            "failures",
+            &[
+                "\"case 0: bad\"".to_string(),
+                "\"case 1: worse\"".to_string(),
+            ],
+        );
+        let doc = j.finish();
+        let expected = concat!(
+            "{\n",
+            "  \"count\": 2,\n",
+            "  \"failures\": [\n",
+            "    \"case 0: bad\",\n",
+            "    \"case 1: worse\"\n",
+            "  ]\n",
+            "}\n"
+        );
+        assert_eq!(doc, expected);
+
+        // Empty: open bracket, newline, closing bracket — the clean-sweep
+        // shape every committed chaos/netval baseline carries.
+        let mut j = JsonBuilder::new();
+        j.int("count", 0);
+        j.list("failures", &[]);
+        let doc = j.finish();
+        let expected = concat!(
+            "{\n",
+            "  \"count\": 0,\n",
+            "  \"failures\": [\n",
+            "  ]\n",
             "}\n"
         );
         assert_eq!(doc, expected);

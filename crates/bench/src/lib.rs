@@ -17,3 +17,4 @@ pub mod repro;
 pub mod serve;
 pub mod sweep;
 pub mod tracebench;
+pub mod video;

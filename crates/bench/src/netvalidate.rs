@@ -28,6 +28,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use crate::harness::JsonBuilder;
+
 use socc_cluster::evacuation::EvacuationPacing;
 use socc_net::packet::{
     run_goodput_calibration, CalibrationReport, PacketConfig, PacketFlowId, PacketNet,
@@ -551,88 +553,69 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the `BENCH_netval.json` artifact.
+/// Renders the `BENCH_netval.json` artifact on [`JsonBuilder`]. Floats
+/// stay on the mode's six-decimal `json_f64` (via `raw`), so the port
+/// is byte-identical to the hand-rolled emitter it replaced and the
+/// committed baseline stays valid.
 pub fn report_json(r: &NetvalReport) -> String {
-    let mut fails = String::new();
-    for (i, f) in r.failures.iter().enumerate() {
-        let _ = writeln!(
-            fails,
-            "    \"case {} (seed {}): {}; minimal: {}; repro: {}\"{}",
-            f.case,
-            f.seed,
-            json_escape(&f.detail),
-            json_escape(&format!("{:?}", f.minimal)),
-            json_escape(&f.repro),
-            if i + 1 == r.failures.len() { "" } else { "," }
-        );
-    }
-    format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"netval\",\n",
-            "  \"cases\": {},\n",
-            "  \"seed\": {},\n",
-            "  \"elapsed_secs\": {},\n",
-            "  \"cases_per_sec\": {},\n",
-            "  \"agreement\": {{\n",
-            "    \"tolerance\": {},\n",
-            "    \"flows_checked\": {},\n",
-            "    \"max_rel_err\": {},\n",
-            "    \"mean_rel_err\": {},\n",
-            "    \"disagreements\": {}\n",
-            "  }},\n",
-            "  \"calibration\": {{\n",
-            "    \"goodput_mbps\": {},\n",
-            "    \"factor\": {},\n",
-            "    \"anchor_mbps\": {},\n",
-            "    \"rel_err\": {},\n",
-            "    \"tolerance\": {},\n",
-            "    \"drops\": {},\n",
-            "    \"ecn_marks\": {}\n",
-            "  }},\n",
-            "  \"incast\": {{\n",
-            "    \"senders\": {},\n",
-            "    \"unpaced_drops\": {},\n",
-            "    \"unpaced_max_queue\": {},\n",
-            "    \"unpaced_completion_ms\": {},\n",
-            "    \"paced_drops\": {},\n",
-            "    \"paced_max_queue\": {},\n",
-            "    \"paced_completion_ms\": {},\n",
-            "    \"inflation\": {},\n",
-            "    \"max_inflation\": {}\n",
-            "  }},\n",
-            "  \"failures\": [\n",
-            "{}",
-            "  ]\n",
-            "}}\n"
-        ),
-        r.options.cases,
-        r.options.seed,
-        json_f64(r.elapsed_secs),
-        json_f64(r.cases_per_sec),
-        json_f64(AGREEMENT_TOLERANCE),
-        r.flows_checked,
-        json_f64(r.max_rel_err),
-        json_f64(r.mean_rel_err),
-        r.failures.len(),
-        json_f64(r.calibration.goodput.as_mbps()),
-        json_f64(r.calibration.factor),
-        json_f64(socc_hw::calib::INTER_SOC_TCP_MBPS),
-        json_f64(r.calibration_rel_err),
-        json_f64(CALIBRATION_TOLERANCE),
-        r.calibration.drops,
-        r.calibration.ecn_marks,
-        r.incast_unpaced.senders,
-        r.incast_unpaced.drops,
-        r.incast_unpaced.max_queue,
-        json_f64(r.incast_unpaced.completion_ms),
-        r.incast_paced.drops,
-        r.incast_paced.max_queue,
-        json_f64(r.incast_paced.completion_ms),
-        json_f64(r.incast_paced.completion_ms / r.incast_unpaced.completion_ms.max(1e-9)),
-        json_f64(MAX_PACING_INFLATION),
-        fails,
-    )
+    let mut j = JsonBuilder::new();
+    j.str("benchmark", "netval")
+        .int("cases", r.options.cases as u64)
+        .int("seed", r.options.seed)
+        .raw("elapsed_secs", &json_f64(r.elapsed_secs))
+        .raw("cases_per_sec", &json_f64(r.cases_per_sec));
+    j.object("agreement", |j| {
+        j.raw("tolerance", &json_f64(AGREEMENT_TOLERANCE))
+            .int("flows_checked", r.flows_checked as u64)
+            .raw("max_rel_err", &json_f64(r.max_rel_err))
+            .raw("mean_rel_err", &json_f64(r.mean_rel_err))
+            .int("disagreements", r.failures.len() as u64);
+    });
+    j.object("calibration", |j| {
+        j.raw("goodput_mbps", &json_f64(r.calibration.goodput.as_mbps()))
+            .raw("factor", &json_f64(r.calibration.factor))
+            .raw("anchor_mbps", &json_f64(socc_hw::calib::INTER_SOC_TCP_MBPS))
+            .raw("rel_err", &json_f64(r.calibration_rel_err))
+            .raw("tolerance", &json_f64(CALIBRATION_TOLERANCE))
+            .int("drops", r.calibration.drops)
+            .int("ecn_marks", r.calibration.ecn_marks);
+    });
+    j.object("incast", |j| {
+        j.int("senders", r.incast_unpaced.senders as u64)
+            .int("unpaced_drops", r.incast_unpaced.drops)
+            .int("unpaced_max_queue", u64::from(r.incast_unpaced.max_queue))
+            .raw(
+                "unpaced_completion_ms",
+                &json_f64(r.incast_unpaced.completion_ms),
+            )
+            .int("paced_drops", r.incast_paced.drops)
+            .int("paced_max_queue", u64::from(r.incast_paced.max_queue))
+            .raw(
+                "paced_completion_ms",
+                &json_f64(r.incast_paced.completion_ms),
+            )
+            .raw(
+                "inflation",
+                &json_f64(r.incast_paced.completion_ms / r.incast_unpaced.completion_ms.max(1e-9)),
+            )
+            .raw("max_inflation", &json_f64(MAX_PACING_INFLATION));
+    });
+    let fails: Vec<String> = r
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "\"case {} (seed {}): {}; minimal: {}; repro: {}\"",
+                f.case,
+                f.seed,
+                json_escape(&f.detail),
+                json_escape(&format!("{:?}", f.minimal)),
+                json_escape(&f.repro),
+            )
+        })
+        .collect();
+    j.list("failures", &fails);
+    j.finish()
 }
 
 #[cfg(test)]
@@ -718,5 +701,121 @@ mod tests {
         assert!(doc.contains("\"factor\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    /// The retired hand-rolled emitter, kept verbatim as the fixture the
+    /// [`JsonBuilder`] port must reproduce byte for byte (the committed
+    /// `BENCH_netval.json` baseline was generated with this code).
+    fn handrolled_report_json(r: &NetvalReport) -> String {
+        let mut fails = String::new();
+        for (i, f) in r.failures.iter().enumerate() {
+            let _ = writeln!(
+                fails,
+                "    \"case {} (seed {}): {}; minimal: {}; repro: {}\"{}",
+                f.case,
+                f.seed,
+                json_escape(&f.detail),
+                json_escape(&format!("{:?}", f.minimal)),
+                json_escape(&f.repro),
+                if i + 1 == r.failures.len() { "" } else { "," }
+            );
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"netval\",\n",
+                "  \"cases\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"elapsed_secs\": {},\n",
+                "  \"cases_per_sec\": {},\n",
+                "  \"agreement\": {{\n",
+                "    \"tolerance\": {},\n",
+                "    \"flows_checked\": {},\n",
+                "    \"max_rel_err\": {},\n",
+                "    \"mean_rel_err\": {},\n",
+                "    \"disagreements\": {}\n",
+                "  }},\n",
+                "  \"calibration\": {{\n",
+                "    \"goodput_mbps\": {},\n",
+                "    \"factor\": {},\n",
+                "    \"anchor_mbps\": {},\n",
+                "    \"rel_err\": {},\n",
+                "    \"tolerance\": {},\n",
+                "    \"drops\": {},\n",
+                "    \"ecn_marks\": {}\n",
+                "  }},\n",
+                "  \"incast\": {{\n",
+                "    \"senders\": {},\n",
+                "    \"unpaced_drops\": {},\n",
+                "    \"unpaced_max_queue\": {},\n",
+                "    \"unpaced_completion_ms\": {},\n",
+                "    \"paced_drops\": {},\n",
+                "    \"paced_max_queue\": {},\n",
+                "    \"paced_completion_ms\": {},\n",
+                "    \"inflation\": {},\n",
+                "    \"max_inflation\": {}\n",
+                "  }},\n",
+                "  \"failures\": [\n",
+                "{}",
+                "  ]\n",
+                "}}\n"
+            ),
+            r.options.cases,
+            r.options.seed,
+            json_f64(r.elapsed_secs),
+            json_f64(r.cases_per_sec),
+            json_f64(AGREEMENT_TOLERANCE),
+            r.flows_checked,
+            json_f64(r.max_rel_err),
+            json_f64(r.mean_rel_err),
+            r.failures.len(),
+            json_f64(r.calibration.goodput.as_mbps()),
+            json_f64(r.calibration.factor),
+            json_f64(socc_hw::calib::INTER_SOC_TCP_MBPS),
+            json_f64(r.calibration_rel_err),
+            json_f64(CALIBRATION_TOLERANCE),
+            r.calibration.drops,
+            r.calibration.ecn_marks,
+            r.incast_unpaced.senders,
+            r.incast_unpaced.drops,
+            r.incast_unpaced.max_queue,
+            json_f64(r.incast_unpaced.completion_ms),
+            r.incast_paced.drops,
+            r.incast_paced.max_queue,
+            json_f64(r.incast_paced.completion_ms),
+            json_f64(r.incast_paced.completion_ms / r.incast_unpaced.completion_ms.max(1e-9)),
+            json_f64(MAX_PACING_INFLATION),
+            fails,
+        )
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_to_the_handrolled_emitter() {
+        // A clean sweep pins the empty-array shape the committed
+        // baseline carries.
+        let clean = run_netval(&NetvalOptions {
+            cases: 2,
+            seed: 11,
+            incast_senders: 8,
+        });
+        assert!(clean.failures.is_empty(), "fixture sweep must be clean");
+        assert_eq!(report_json(&clean), handrolled_report_json(&clean));
+
+        // A synthetic disagreement exercises the array items and the
+        // escaping path (the `{:?}` scenario debug carries quotes).
+        let mut dirty = clean;
+        dirty.failures.push(DisagreementRecord {
+            case: 1,
+            seed: crate::harness::mix_seed(11, 1),
+            detail: "flow 3 rel err 0.09 > \"tolerance\"".to_string(),
+            minimal: Scenario {
+                socs: 4,
+                backup_pcbs: vec![0],
+                flows: vec![(0, 3)],
+                churn: vec![ChurnOp::Fail { pcb: 0, slot: 0 }],
+            },
+            repro: "bench --netval --seed 11 --step 1".to_string(),
+        });
+        assert_eq!(report_json(&dirty), handrolled_report_json(&dirty));
     }
 }

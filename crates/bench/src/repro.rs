@@ -166,6 +166,47 @@ pub fn tab3() -> String {
     t.render()
 }
 
+/// Table 3 (full backend matrix) — `max_live_streams` for every
+/// transcode unit × vbench video, per unit and per whole server.
+pub fn tab3_full() -> String {
+    use socc_video::backend::TranscodeUnit;
+    let mut t = Table::new([
+        "Video",
+        "SoC CPU",
+        "SoC HW codec",
+        "Intel CPU",
+        "NVIDIA A40",
+        "SoC CPU/server",
+        "SoC HW/server",
+        "Intel/server",
+        "A40/server",
+    ])
+    .with_title("Table 3 (full): max concurrent live streams per unit and per server");
+    for v in socc_video::vbench::videos() {
+        let per_unit: Vec<usize> = TranscodeUnit::ALL
+            .iter()
+            .map(|u| u.max_live_streams(&v))
+            .collect();
+        let per_server: Vec<usize> = TranscodeUnit::ALL
+            .iter()
+            .zip(&per_unit)
+            .map(|(u, n)| n * u.units_per_server())
+            .collect();
+        t.row([
+            v.id.to_string(),
+            format!("{}", per_unit[0]),
+            format!("{}", per_unit[1]),
+            format!("{}", per_unit[2]),
+            format!("{}", per_unit[3]),
+            format!("{}", per_server[0]),
+            format!("{}", per_server[1]),
+            format!("{}", per_server[2]),
+            format!("{}", per_server[3]),
+        ]);
+    }
+    t.render()
+}
+
 /// Fig. 6 — transcoding energy efficiency.
 pub fn fig6() -> String {
     let mut a = Table::new([
@@ -726,14 +767,79 @@ pub fn fig14() -> String {
     out
 }
 
+/// Live transcoding farm day (beyond the paper's artifacts): the default
+/// production-scale diurnal day on one enclosure, advanced by the
+/// analytic steady-state fast path, with a board-down fault at the
+/// 21:00 peak and GOP-checkpoint-priced migrations.
+pub fn farm() -> String {
+    use socc_cluster::videofarm::{generate_schedule, run_farm, FarmConfig, FarmMode};
+    let cfg = FarmConfig::default();
+    let schedule = generate_schedule(&cfg);
+    let r = run_farm(&cfg, &schedule, FarmMode::Analytic, &|| 0);
+    let mut t = Table::new(["metric", "value"]).with_title(format!(
+        "Live transcoding farm: {} SoCs, {} h day, fault at t={} s",
+        cfg.socs,
+        cfg.horizon_secs / 3600,
+        cfg.fault.map_or(0, |f| f.at_secs),
+    ));
+    t.row([
+        "sessions planned".into(),
+        format!("{}", schedule.session_count()),
+    ]);
+    t.row([
+        "admitted / rejected".into(),
+        format!("{} / {}", r.admitted, r.rejected),
+    ]);
+    t.row([
+        "hw / cpu encoded".into(),
+        format!("{} / {}", r.hw_sessions, r.cpu_sessions),
+    ]);
+    t.row(["peak concurrent".into(), format!("{}", r.peak_concurrent)]);
+    t.row(["live at fault".into(), format!("{}", r.concurrent_at_fault)]);
+    t.row([
+        "migrations / fault drops".into(),
+        format!("{} / {}", r.migrations, r.fault_drops),
+    ]);
+    t.row([
+        "MTTR mean / max".into(),
+        format!(
+            "{} / {} ms",
+            fnum(r.mttr_mean_ms(), 1),
+            fnum(r.mttr_max_ms, 1)
+        ),
+    ]);
+    t.row([
+        "checkpoint state moved".into(),
+        format!("{} MB", fnum(r.checkpoint_bytes / 1e6, 1)),
+    ]);
+    t.row([
+        "ABR switches / drops".into(),
+        format!("{} / {}", r.abr_switches, r.abr_drops),
+    ]);
+    t.row([
+        "mean PSNR".into(),
+        format!("{} dB", fnum(r.mean_psnr_db(), 2)),
+    ]);
+    t.row([
+        "energy / session-hour".into(),
+        format!("{} J", fnum(r.energy_per_session_hour_j(), 0)),
+    ]);
+    t.row([
+        "analytic spans vs events".into(),
+        format!("{} vs {}", r.spans, schedule.event_count()),
+    ]);
+    t.render()
+}
+
 /// All experiment ids in paper order (what-if artifacts follow the paper's
 /// tables/figures).
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig1",
     "tab1",
     "tab2",
     "fig5",
     "tab3",
+    "tab3_full",
     "fig6",
     "fig7",
     "fig8",
@@ -749,6 +855,7 @@ pub const ALL_IDS: [&str; 20] = [
     "fig14",
     "avail",
     "fig-avail-domains",
+    "farm",
 ];
 
 /// Runs one experiment by id.
@@ -759,6 +866,7 @@ pub fn run(id: &str) -> Option<String> {
         "tab2" => tab2(),
         "fig5" => fig5(),
         "tab3" => tab3(),
+        "tab3_full" => tab3_full(),
         "fig6" => fig6(),
         "fig7" => fig7(),
         "fig8" => fig8(),
@@ -774,6 +882,7 @@ pub fn run(id: &str) -> Option<String> {
         "fig14" => fig14(),
         "avail" => avail(),
         "fig-avail-domains" => fig_avail_domains(),
+        "farm" => farm(),
         _ => return None,
     })
 }

@@ -21,6 +21,7 @@
 
 use std::time::Instant;
 
+use crate::harness::JsonBuilder;
 use socc_cluster::faults::{FaultEvent, FaultKind};
 use socc_cluster::orchestrator::OrchestratorConfig;
 use socc_cluster::recovery::{RecoveryConfig, RecoveryEngine};
@@ -213,57 +214,33 @@ pub fn chrome_trace(opts: &TraceOptions) -> String {
     engine_run(opts, true).events().to_chrome_trace()
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Renders the `BENCH_trace.json` artifact (hand-rolled; the workspace
-/// carries no JSON dependency by design).
+/// Renders the `BENCH_trace.json` artifact on [`JsonBuilder`]. This
+/// mode's floats were always three-decimal — exactly the harness's
+/// [`crate::harness::json_f64`] — so the port uses `f64` directly and
+/// stays byte-identical to the hand-rolled emitter it replaced.
 pub fn report_json(r: &TraceReport) -> String {
-    format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"trace_overhead\",\n",
-            "  \"recording\": {{\n",
-            "    \"record_calls\": {},\n",
-            "    \"ring_capacity\": {},\n",
-            "    \"ns_per_event_enabled\": {},\n",
-            "    \"ns_per_event_disabled\": {},\n",
-            "    \"allocs_enabled\": {},\n",
-            "    \"allocs_disabled\": {}\n",
-            "  }},\n",
-            "  \"engine_overhead\": {{\n",
-            "    \"scenario\": \"fault_loop_e2e\",\n",
-            "    \"streams\": {},\n",
-            "    \"horizon_secs\": {},\n",
-            "    \"reps\": {},\n",
-            "    \"spans_on_ms\": {},\n",
-            "    \"spans_off_ms\": {},\n",
-            "    \"overhead_pct\": {},\n",
-            "    \"events_captured\": {},\n",
-            "    \"digest\": \"{}\"\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        r.options.record_calls,
-        r.options.ring_capacity,
-        json_f64(r.ns_per_event_enabled),
-        json_f64(r.ns_per_event_disabled),
-        r.allocs_enabled,
-        r.allocs_disabled,
-        r.options.streams,
-        r.options.horizon_secs,
-        r.options.reps,
-        json_f64(r.spans_on_ms),
-        json_f64(r.spans_off_ms),
-        json_f64(r.overhead_pct),
-        r.events_captured,
-        r.digest_hex,
-    )
+    let mut j = JsonBuilder::new();
+    j.str("benchmark", "trace_overhead");
+    j.object("recording", |j| {
+        j.int("record_calls", r.options.record_calls as u64)
+            .int("ring_capacity", r.options.ring_capacity as u64)
+            .f64("ns_per_event_enabled", r.ns_per_event_enabled)
+            .f64("ns_per_event_disabled", r.ns_per_event_disabled)
+            .int("allocs_enabled", r.allocs_enabled)
+            .int("allocs_disabled", r.allocs_disabled);
+    });
+    j.object("engine_overhead", |j| {
+        j.str("scenario", "fault_loop_e2e")
+            .int("streams", r.options.streams as u64)
+            .int("horizon_secs", r.options.horizon_secs)
+            .int("reps", r.options.reps as u64)
+            .f64("spans_on_ms", r.spans_on_ms)
+            .f64("spans_off_ms", r.spans_off_ms)
+            .f64("overhead_pct", r.overhead_pct)
+            .int("events_captured", r.events_captured)
+            .str("digest", &r.digest_hex);
+    });
+    j.finish()
 }
 
 #[cfg(test)]
@@ -300,5 +277,67 @@ mod tests {
         assert!(doc.contains("\"digest\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(r.events_captured > 0);
+    }
+
+    /// The retired hand-rolled emitter, kept verbatim as the fixture the
+    /// [`JsonBuilder`] port must reproduce byte for byte (the committed
+    /// `BENCH_trace.json` baseline was generated with this code).
+    fn handrolled_report_json(r: &TraceReport) -> String {
+        fn json_f64(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"trace_overhead\",\n",
+                "  \"recording\": {{\n",
+                "    \"record_calls\": {},\n",
+                "    \"ring_capacity\": {},\n",
+                "    \"ns_per_event_enabled\": {},\n",
+                "    \"ns_per_event_disabled\": {},\n",
+                "    \"allocs_enabled\": {},\n",
+                "    \"allocs_disabled\": {}\n",
+                "  }},\n",
+                "  \"engine_overhead\": {{\n",
+                "    \"scenario\": \"fault_loop_e2e\",\n",
+                "    \"streams\": {},\n",
+                "    \"horizon_secs\": {},\n",
+                "    \"reps\": {},\n",
+                "    \"spans_on_ms\": {},\n",
+                "    \"spans_off_ms\": {},\n",
+                "    \"overhead_pct\": {},\n",
+                "    \"events_captured\": {},\n",
+                "    \"digest\": \"{}\"\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            r.options.record_calls,
+            r.options.ring_capacity,
+            json_f64(r.ns_per_event_enabled),
+            json_f64(r.ns_per_event_disabled),
+            r.allocs_enabled,
+            r.allocs_disabled,
+            r.options.streams,
+            r.options.horizon_secs,
+            r.options.reps,
+            json_f64(r.spans_on_ms),
+            json_f64(r.spans_off_ms),
+            json_f64(r.overhead_pct),
+            r.events_captured,
+            r.digest_hex,
+        )
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_to_the_handrolled_emitter() {
+        let mut r = trace_overhead(&small(), &|| 0);
+        assert_eq!(report_json(&r), handrolled_report_json(&r));
+        // Non-finite timings render as null on both sides.
+        r.overhead_pct = f64::NAN;
+        assert_eq!(report_json(&r), handrolled_report_json(&r));
     }
 }

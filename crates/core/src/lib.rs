@@ -44,6 +44,7 @@ pub mod scheduler;
 pub mod soc;
 pub mod telemetry;
 pub mod traditional;
+pub mod videofarm;
 pub mod virt;
 pub mod whatif;
 pub mod workload;

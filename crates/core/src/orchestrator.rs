@@ -809,6 +809,35 @@ impl Orchestrator {
                 mem_gb: 1.2,
                 ..Default::default()
             },
+            // Venus hardware-codec sessions: the codec dimensions (MB/s
+            // throughput plus the session cap) and the §4.4 delegation
+            // daemon's CPU tax, as `demand_for` builds for LiveStreamHw.
+            Demand {
+                codec_mb_s: socc_video::vbench::by_id("V3")
+                    .expect("V3 is in the catalogue")
+                    .hw_cost_mb_s(),
+                codec_sessions: 1,
+                cpu_pu: self.cluster.socs[0]
+                    .spec
+                    .codec
+                    .delegation_cpu_pu_per_session,
+                net_mbps: 8.3,
+                mem_gb: 0.3,
+                ..Default::default()
+            },
+            Demand {
+                codec_mb_s: socc_video::vbench::by_id("V6")
+                    .expect("V6 is in the catalogue")
+                    .hw_cost_mb_s(),
+                codec_sessions: 1,
+                cpu_pu: self.cluster.socs[0]
+                    .spec
+                    .codec
+                    .delegation_cpu_pu_per_session,
+                net_mbps: 65.6,
+                mem_gb: 0.3,
+                ..Default::default()
+            },
         ];
         probes.iter().all(|d| {
             let scan_first = self.cluster.socs.iter().position(|s| s.fits(d));

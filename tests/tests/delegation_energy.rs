@@ -1,0 +1,156 @@
+//! The §4.4 Venus delegation-daemon CPU tax, end to end: hardware-codec
+//! sessions must charge BOTH the codec unit (throughput + session slot)
+//! and the host CPU (the delegation daemon that feeds the Venus unit) —
+//! in placement capacity and in the per-component energy ledger — and the
+//! ledger must stay conservative while doing so.
+
+use socc_cluster::orchestrator::{Orchestrator, OrchestratorConfig};
+use socc_cluster::soc::Demand;
+use socc_cluster::videofarm::{generate_schedule, run_farm, FarmConfig, FarmMode};
+use socc_cluster::workload::WorkloadSpec;
+use socc_hw::calib::SOC_CPU_TRANSCODE_PU;
+use socc_hw::ledger::Component;
+use socc_sim::time::SimTime;
+
+fn awake_orch() -> Orchestrator {
+    // Keep idle SoCs awake so the idle twin is a clean power baseline
+    // (no sleep transitions competing with the delegation-tax delta).
+    Orchestrator::new(OrchestratorConfig {
+        sleep_after: None,
+        ..OrchestratorConfig::default()
+    })
+}
+
+fn venus_demand(orch: &Orchestrator, id: &str) -> Demand {
+    let video = socc_video::vbench::by_id(id).unwrap();
+    Demand {
+        codec_mb_s: video.hw_cost_mb_s(),
+        codec_sessions: 1,
+        cpu_pu: orch.cluster().socs[0]
+            .spec
+            .codec
+            .delegation_cpu_pu_per_session,
+        net_mbps: 1.0,
+        mem_gb: 0.3,
+        ..Demand::default()
+    }
+}
+
+/// The delegation daemon's CPU demand gates placement even when the codec
+/// unit itself is wide open: a CPU-saturated SoC cannot take one more
+/// Venus session.
+#[test]
+fn delegation_tax_blocks_venus_on_a_cpu_saturated_soc() {
+    let orch = awake_orch();
+    let tax = orch.cluster().socs[0]
+        .spec
+        .codec
+        .delegation_cpu_pu_per_session;
+    assert!(tax > 0.0, "the §4.4 daemon cost must be modeled");
+
+    let mut soc = orch.cluster().socs[0].clone();
+    let venus = venus_demand(&orch, "V1");
+    assert!(soc.fits(&venus), "a fresh SoC takes a Venus session");
+
+    // Saturate the CPU, leaving less headroom than one daemon's tax but
+    // the codec unit untouched.
+    soc.place(&Demand {
+        cpu_pu: SOC_CPU_TRANSCODE_PU - tax / 2.0,
+        ..Demand::default()
+    });
+    assert!(
+        !soc.fits(&venus),
+        "codec is free but the delegation daemon has no CPU to run on"
+    );
+    let codec_only = Demand {
+        cpu_pu: 0.0,
+        ..venus
+    };
+    assert!(
+        soc.fits(&codec_only),
+        "without the CPU tax the same session would (wrongly) fit"
+    );
+}
+
+/// A Venus session raises BOTH the codec and the CPU component energies
+/// of its hosting SoC over an idle awake twin, and more sessions draw
+/// more delegation CPU energy.
+#[test]
+fn venus_sessions_charge_codec_and_delegation_cpu_in_the_ledger() {
+    let horizon = SimTime::from_secs(1_000);
+    let energies = |n_sessions: usize| {
+        let mut orch = awake_orch();
+        for _ in 0..n_sessions {
+            let video = socc_video::vbench::by_id("V1").unwrap();
+            let id = orch.submit(WorkloadSpec::LiveStreamHw { video }).unwrap();
+            assert_eq!(orch.placement_of(id), Some(0), "BinPack fills SoC 0 first");
+        }
+        orch.advance_to(horizon);
+        orch.verify_energy_conservation(1e-6)
+            .expect("ledger conserves under delegation charging");
+        let ledger = orch.energy_ledger();
+        (
+            ledger
+                .component_energy(0, Component::Cpu, horizon)
+                .as_joules(),
+            ledger
+                .component_energy(0, Component::Codec, horizon)
+                .as_joules(),
+        )
+    };
+
+    let (cpu_idle, codec_idle) = energies(0);
+    let (cpu_one, codec_one) = energies(1);
+    let (cpu_four, codec_four) = energies(4);
+
+    assert!(
+        codec_one > codec_idle,
+        "the codec unit must draw active energy: {codec_one} vs {codec_idle}"
+    );
+    assert!(
+        cpu_one > cpu_idle,
+        "the delegation daemon must draw CPU energy: {cpu_one} vs {cpu_idle}"
+    );
+    assert!(codec_four > codec_one, "codec energy grows with sessions");
+    assert!(
+        cpu_four > cpu_one,
+        "delegation CPU energy grows with sessions"
+    );
+    // The first session pays the DVFS idle→active floor; sessions beyond
+    // it must still show a clear per-daemon marginal CPU cost.
+    assert!(cpu_four - cpu_one > 0.05 * (cpu_one - cpu_idle));
+}
+
+/// An all-hardware farm day stays conservative at the farm-report level:
+/// the ledger's component + chassis energies reassemble the integrated
+/// total power, and the codec + delegation CPU components are both live.
+#[test]
+fn hw_farm_conserves_energy_end_to_end() {
+    let cfg = FarmConfig {
+        socs: 20,
+        horizon_secs: 3 * 3600,
+        peak_arrivals_per_hour: 120.0,
+        median_session_mins: 40.0,
+        hw_fraction: 1.0,
+        abr_switch_prob: 0.2,
+        seed: 11,
+        fault: None,
+    };
+    let schedule = generate_schedule(&cfg);
+    let r = run_farm(&cfg, &schedule, FarmMode::Simulation, &|| 0);
+    assert!(r.admitted > 0 && r.cpu_sessions == 0);
+
+    let component_sum: f64 = r.component_energy_j.iter().sum();
+    let reassembled = component_sum + r.chassis_energy_j;
+    let rel = (reassembled - r.energy_j).abs() / r.energy_j;
+    assert!(
+        rel < 1e-2,
+        "ledger components + chassis must reassemble total energy: rel {rel:.3e}"
+    );
+    // Component order is [Cpu, Codec, Gpu, Dsp, Memory].
+    assert!(r.component_energy_j[1] > 0.0, "codec units drew energy");
+    assert!(
+        r.component_energy_j[0] > 0.0,
+        "delegation daemons drew CPU energy"
+    );
+}

@@ -1,0 +1,149 @@
+//! End-to-end checks of the live transcoding farm: the analytic
+//! steady-state fast path must agree with the event-level simulation on
+//! every randomized scenario (the two-resolution contract), and a board
+//! fault at the diurnal peak of a production-scale day must migrate live
+//! sessions with GOP-checkpoint-priced MTTRs.
+
+use proptest::prelude::*;
+use socc_cluster::videofarm::{
+    generate_schedule, migration_cost, run_farm, FarmConfig, FarmFault, FarmMode,
+    FAN_ENERGY_REL_TOL,
+};
+
+/// No allocator instrumentation in tests — the 0-alloc gate runs under
+/// the bench binary's counting allocator.
+fn no_allocs() -> u64 {
+    0
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// Analytic ≡ converged simulation over randomized small farms:
+    /// identical placement digests and churn counters, occupancy /
+    /// quality / egress integrals to float tolerance, component energy
+    /// exact, total energy within the documented fan-feedback band.
+    #[test]
+    fn analytic_matches_simulation_on_random_farms(
+        socs in 2usize..5,           // boards (x5 SoCs)
+        hours in 1u64..3,
+        peak in 40.0f64..140.0,
+        median_mins in 25.0f64..90.0,
+        hw in 0.0f64..1.0,
+        abr in 0.0f64..0.4,
+        seed in 0u64..1_000,
+        fault_board in prop::option::of(0usize..2),
+    ) {
+        let horizon_secs = hours * 3600;
+        let cfg = FarmConfig {
+            socs: socs * 5,
+            horizon_secs,
+            peak_arrivals_per_hour: peak,
+            median_session_mins: median_mins,
+            hw_fraction: hw,
+            abr_switch_prob: abr,
+            seed,
+            fault: fault_board.map(|board| FarmFault {
+                board,
+                at_secs: horizon_secs / 2,
+                repair_secs: 600,
+            }),
+        };
+        let schedule = generate_schedule(&cfg);
+        let ana = run_farm(&cfg, &schedule, FarmMode::Analytic, &no_allocs);
+        let sim = run_farm(&cfg, &schedule, FarmMode::Simulation, &no_allocs);
+
+        prop_assert_eq!(ana.digest, sim.digest, "placement sequences diverged");
+        prop_assert_eq!(ana.admitted, sim.admitted);
+        prop_assert_eq!(ana.rejected, sim.rejected);
+        prop_assert_eq!(ana.completed, sim.completed);
+        prop_assert_eq!(ana.abr_switches, sim.abr_switches);
+        prop_assert_eq!(ana.abr_drops, sim.abr_drops);
+        prop_assert_eq!(ana.migrations, sim.migrations);
+        prop_assert_eq!(ana.fault_drops, sim.fault_drops);
+        prop_assert_eq!(ana.peak_concurrent, sim.peak_concurrent);
+        prop_assert_eq!(ana.concurrent_at_fault, sim.concurrent_at_fault);
+
+        prop_assert!(rel_close(ana.session_secs, sim.session_secs, 1e-6));
+        prop_assert!(rel_close(ana.psnr_secs, sim.psnr_secs, 1e-6));
+        prop_assert!(rel_close(ana.egress_mbps_secs, sim.egress_mbps_secs, 1e-6));
+        prop_assert!(rel_close(ana.downtime_secs, sim.downtime_secs, 1e-9));
+        for c in 0..5 {
+            prop_assert!(
+                rel_close(ana.component_energy_j[c], sim.component_energy_j[c], 1e-6),
+                "component {} energy diverged: {} vs {}",
+                c, ana.component_energy_j[c], sim.component_energy_j[c]
+            );
+        }
+        prop_assert!(
+            rel_close(ana.energy_j, sim.energy_j, FAN_ENERGY_REL_TOL),
+            "total energy outside the fan band: {} vs {}", ana.energy_j, sim.energy_j
+        );
+        // The fast path must be event-bounded (plus bounded one-minute
+        // thermal sub-steps), never tick-bounded.
+        let chunk_bound = (horizon_secs / 60) as usize;
+        prop_assert!((ana.spans as usize) <= schedule.event_count() + chunk_bound + 2);
+        prop_assert_eq!(sim.ticks, horizon_secs);
+    }
+}
+
+/// A board-down fault at the 21:00 diurnal peak of the default
+/// production-scale day strikes ≥1000 live sessions; survivors migrate
+/// mid-stream with MTTR = GOP checkpoint ÷ calibrated inter-SoC goodput.
+#[test]
+fn board_down_at_peak_migrates_among_thousand_plus_sessions() {
+    let cfg = FarmConfig::default();
+    assert!(
+        cfg.fault.is_some(),
+        "the default day includes the peak fault"
+    );
+    let schedule = generate_schedule(&cfg);
+    let r = run_farm(&cfg, &schedule, FarmMode::Analytic, &no_allocs);
+
+    assert!(
+        r.concurrent_at_fault >= 1_000,
+        "the fault must strike a farm with ≥1000 live sessions, got {}",
+        r.concurrent_at_fault
+    );
+    assert!(r.peak_concurrent >= r.concurrent_at_fault);
+    assert!(r.migrations > 0, "some victims must find healthy slots");
+
+    // MTTR is priced by the GOP checkpoint model over the calibrated
+    // ~935.8 Mbps goodput: the mean sits inside the band the vbench
+    // ladder checkpoints imply, and the total downtime is exactly the
+    // per-migration MTTR sum.
+    let catalogue_mttrs: Vec<f64> = ["V1", "V2", "V3", "V4", "V5", "V6"]
+        .iter()
+        .flat_map(|id| {
+            let v = socc_video::vbench::by_id(id).unwrap();
+            let ladder = socc_video::abr::Ladder::standard(&v);
+            ladder
+                .jobs(&v)
+                .iter()
+                .map(|j| migration_cost(j).1)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let floor_ms = catalogue_mttrs
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        * 1e3;
+    let ceil_ms = catalogue_mttrs.iter().cloned().fold(0.0f64, f64::max) * 1e3;
+    assert!(
+        r.mttr_mean_ms() >= floor_ms && r.mttr_mean_ms() <= ceil_ms,
+        "mean MTTR {:.2} ms outside catalogue band [{:.2}, {:.2}]",
+        r.mttr_mean_ms(),
+        floor_ms,
+        ceil_ms
+    );
+    assert!(r.mttr_max_ms <= ceil_ms + 1e-9);
+    assert!(rel_close(r.downtime_secs, r.mttr_sum_ms / 1e3, 1e-9));
+    assert!(r.checkpoint_bytes > 0.0);
+
+    // Sub-second live-stream MTTR is the point of GOP checkpointing —
+    // orders of magnitude below the minutes-scale cold restart.
+    assert!(r.mttr_max_ms < 1_000.0, "live MTTR stays sub-second");
+}
