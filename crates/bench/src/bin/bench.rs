@@ -73,6 +73,22 @@
 //!     --sites 256 --hours 24 --window 120 --out BENCH_fleet.json
 //! ```
 //!
+//! `bench --fleetchaos` runs seeded fleet-level chaos campaigns over the
+//! sharded fleet simulator: correlated site-tier schedules (a regional
+//! WAN partition storm plus a concurrent full-site blackout and a rail
+//! brownout) paired with independent twins at equal fault volume, with
+//! live inter-site migration re-placing every displaced session. Session
+//! accounting, dark-site power floors, per-site energy conservation and
+//! digest determinism across worker counts are checked on every run, and
+//! the result is written as `BENCH_fleetchaos.json`. `--step K` replays
+//! one campaign pair and prints its byte-identical outcome:
+//!
+//! ```text
+//! cargo run --release -p socc-bench --bin bench -- --fleetchaos \
+//!     --campaigns 64 --seed 42 --out BENCH_fleetchaos.json
+//! cargo run --release -p socc-bench --bin bench -- --fleetchaos --seed 42 --step 17
+//! ```
+//!
 //! `bench --video` runs the production-scale live-transcoding farm day —
 //! thousands of diurnal sessions with ABR churn and a board-down fault at
 //! the 21:00 peak — once on the analytic steady-state fast path and once
@@ -103,7 +119,11 @@
 //! baseline or single-thread windows/sec dropped by more than 30%
 //! (digest mismatch across worker counts, a modeled 8-worker speedup
 //! below 4×, and a leaky coordination loop fail even without a
-//! baseline); for `--video`, if the analytic fast path stopped being ≥5×
+//! baseline); for `--fleetchaos`, if any invariant was violated, a
+//! digest differed across worker counts, correlated availability stopped
+//! sitting below independent, the live-migration rate fell under 90%, or
+//! the sweep digest drifted from a same-config baseline; for `--video`,
+//! if the analytic fast path stopped being ≥5×
 //! faster than simulation, a quiet span allocated, the two modes
 //! disagreed, the full-day fault struck fewer than 1000 live sessions, or
 //! the farm digest / per-session energy drifted from a same-config
@@ -117,6 +137,7 @@ use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
 use socc_bench::fleet::{
     run_fleet_bench, FleetBenchOptions, MAX_COORD_ALLOCS_PER_WINDOW, MIN_SPEEDUP_8W,
 };
+use socc_bench::fleetchaos::{run_fleet_chaos, FleetChaosOptions, MIN_LIVE_MIGRATION_RATE};
 use socc_bench::harness::extract_num as extract;
 use socc_bench::netvalidate::{
     run_netval, NetvalOptions, AGREEMENT_TOLERANCE, CALIBRATION_TOLERANCE, MAX_PACING_INFLATION,
@@ -164,6 +185,7 @@ struct Args {
     trace: bool,
     netval: bool,
     fleet: bool,
+    fleetchaos: bool,
     video: bool,
     sites: usize,
     socs: usize,
@@ -191,6 +213,7 @@ fn parse_args() -> Result<Args, String> {
         trace: false,
         netval: false,
         fleet: false,
+        fleetchaos: false,
         video: false,
         sites: 256,
         socs: socc_hw::calib::CLUSTER_SOC_COUNT,
@@ -219,6 +242,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--netval" => args.netval = true,
             "--fleet" => args.fleet = true,
+            "--fleetchaos" => args.fleetchaos = true,
             "--video" => args.video = true,
             "--socs" => {
                 args.socs = value("--socs")?
@@ -761,6 +785,101 @@ fn run_fleet_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_fleetchaos_cmd(args: &Args) -> Result<(), String> {
+    let opts = FleetChaosOptions {
+        campaigns: args.campaigns,
+        seed: args.seed,
+        ..FleetChaosOptions::default()
+    };
+    if let Some(k) = args.step {
+        // One-campaign repro: deterministic text, no wall-clock, no JSON.
+        print!("{}", socc_bench::fleetchaos::replay(&opts, k));
+        return Ok(());
+    }
+    let report = run_fleet_chaos(&opts);
+    let doc = socc_bench::fleetchaos::report_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    // Absolute gates — the campaign contract itself, independent of any
+    // baseline.
+    let mut failures = Vec::new();
+    for v in &report.violations {
+        failures.push(format!(
+            "invariant violation in campaign {}: {} (minimal schedule {} events; {})",
+            v.campaign, v.detail, v.minimal_events, v.repro
+        ));
+    }
+    if let Some(p) = report.outcomes.iter().find(|p| !p.digests_match()) {
+        failures.push(format!(
+            "campaign {} digest differs across worker counts: {:?}",
+            p.index, p.worker_digests
+        ));
+    }
+    if report.correlated_mean >= report.independent_mean {
+        failures.push(format!(
+            "correlated availability {:.4} not below independent {:.4} — \
+             the site-tier domain model lost its teeth",
+            report.correlated_mean, report.independent_mean
+        ));
+    }
+    let rate = report.live_migration_rate();
+    if rate < MIN_LIVE_MIGRATION_RATE {
+        failures.push(format!(
+            "only {:.1}% of displaced sessions live-migrated (< {:.0}%)",
+            rate * 100.0,
+            MIN_LIVE_MIGRATION_RATE * 100.0
+        ));
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let same_config = [
+            ("campaigns", opts.campaigns as f64),
+            ("seed", opts.seed as f64),
+            ("sites", opts.sites as f64),
+            ("regions", opts.regions as f64),
+            ("hours", opts.hours as f64),
+            ("window_secs", opts.window_secs as f64),
+        ]
+        .iter()
+        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
+        if same_config {
+            if !baseline.contains(&format!("\"digest\": \"{}\"", report.digest_hex)) {
+                failures.push(format!(
+                    "fleet-chaos sweep digest {} differs from baseline — simulated \
+                     behaviour drifted; refresh BENCH_fleetchaos.json deliberately",
+                    report.digest_hex
+                ));
+            }
+        } else {
+            eprintln!("fleetchaos check: baseline config differs; skipping digest comparison");
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    eprintln!(
+        "fleetchaos check ok: {} campaign pairs, 0 violations, digest {} identical at \
+         {:?} workers, availability gap {:.4} (corr {:.4} < indep {:.4}), {:.1}% of {} \
+         displaced sessions live-migrated, {:.1} runs/sec",
+        report.options.campaigns,
+        report.digest_hex,
+        socc_bench::fleetchaos::WORKER_COUNTS,
+        report.independent_mean - report.correlated_mean,
+        report.correlated_mean,
+        report.independent_mean,
+        rate * 100.0,
+        report.stranded,
+        report.runs_per_sec
+    );
+    Ok(())
+}
+
 fn run_video_cmd(args: &Args) -> Result<(), String> {
     let opts = VideoOptions {
         socs: args.socs,
@@ -890,10 +1009,11 @@ fn main() -> ExitCode {
         && !args.trace
         && !args.netval
         && !args.fleet
+        && !args.fleetchaos
         && !args.video
     {
         eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]\n       bench --video [--socs N] [--hours N] [--peak RATE] [--reps N] [--seed N] [--out FILE] [--check BASELINE]"
+            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleetchaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --video [--socs N] [--hours N] [--peak RATE] [--reps N] [--seed N] [--out FILE] [--check BASELINE]"
         );
         return ExitCode::FAILURE;
     }
@@ -907,6 +1027,8 @@ fn main() -> ExitCode {
         run_netval_cmd(&args)
     } else if args.fleet {
         run_fleet_cmd(&args)
+    } else if args.fleetchaos {
+        run_fleetchaos_cmd(&args)
     } else if args.video {
         run_video_cmd(&args)
     } else {

@@ -297,10 +297,15 @@ pub fn report_json(report: &FleetBenchReport) -> String {
     j.object("fleet", |j| {
         j.int("routed", fleet.routed);
         j.int("rerouted", fleet.rerouted);
+        j.int("finished", fleet.finished);
         j.int("stranded", fleet.stranded);
+        j.int("migrated", fleet.migrated);
+        j.int("migration_cancelled", fleet.migration_cancelled);
+        j.int("migration_retries", fleet.migration_retries);
         j.int("partitions", fleet.partitions);
         j.int("unplaceable", fleet.unplaceable);
         j.int("rejected", fleet.rejected);
+        j.f64("availability", fleet.availability());
         j.f64("fleet_kwh", fleet.fleet_kwh);
         j.f64("peak_fleet_power_w", fleet.peak_fleet_power_w);
     });

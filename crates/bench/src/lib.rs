@@ -10,6 +10,7 @@
 pub mod chaos;
 pub mod extensions;
 pub mod fleet;
+pub mod fleetchaos;
 pub mod harness;
 pub mod netvalidate;
 pub mod perf;

@@ -43,6 +43,20 @@ impl EvacuationPacing {
         }
     }
 
+    /// Pacing for a fleet-level *site* evacuation across the WAN: eight
+    /// concurrent migration streams of one session checkpoint (`state`)
+    /// each, sharing the site's 10 Gbps WAN uplink
+    /// ([`socc_net::wan::WanFabric::edge_fleet`]). Fleet chaos campaigns
+    /// typically narrow the bottleneck to a reserved migration lane so an
+    /// evacuation storm cannot starve live session traffic.
+    pub fn wan_default(state: DataSize) -> Self {
+        Self {
+            max_concurrent: 8,
+            state_size: state,
+            bottleneck: DataRate::gbps(10.0),
+        }
+    }
+
     /// How long one wave of `max_concurrent` fair-sharing transfers takes
     /// to drain the bottleneck, at the calibrated (packet-measured)
     /// goodput of each transfer's fair share.
@@ -52,10 +66,17 @@ impl EvacuationPacing {
         self.state_size / TcpModel::inter_soc().goodput(fair_share)
     }
 
-    /// Admission offsets for `n` displaced workloads: wave `k` (the
-    /// `k`-th group of `max_concurrent`) starts `k` wave-times after
-    /// detection. The first wave starts immediately, so pacing never
-    /// delays a batch that already fits the fabric.
+    /// The admission offset of the `i`-th displaced workload: wave
+    /// `i / max_concurrent` starts that many wave-times after detection.
+    /// The first wave starts immediately, so pacing never delays a batch
+    /// that already fits the fabric.
+    pub fn offset_for(&self, i: usize) -> SimDuration {
+        let lanes = self.max_concurrent.max(1);
+        self.wave_time() * ((i / lanes) as f64)
+    }
+
+    /// Admission offsets for `n` displaced workloads
+    /// ([`Self::offset_for`], batched).
     pub fn admission_offsets(&self, n: usize) -> Vec<SimDuration> {
         let lanes = self.max_concurrent.max(1);
         let wave = self.wave_time();
@@ -86,6 +107,31 @@ mod tests {
         let raw = p.state_size / DataRate::bps(p.bottleneck.as_bps() / 2.0);
         assert!(p.wave_time() > raw, "pacing must budget for goodput < raw");
         assert!(p.wave_time() < raw * 1.25, "factor is within 25% of raw");
+    }
+
+    #[test]
+    fn offset_for_matches_the_batched_offsets() {
+        for p in [
+            EvacuationPacing::cluster_default(),
+            EvacuationPacing::wan_default(DataSize::megabytes(8.0)),
+        ] {
+            let offsets = p.admission_offsets(13);
+            for (i, &off) in offsets.iter().enumerate() {
+                assert_eq!(p.offset_for(i), off, "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wan_pacing_spreads_a_site_evacuation_into_waves() {
+        // A narrowed WAN migration lane forces a whole-site evacuation to
+        // drain over many waves instead of hitting the uplink at once.
+        let p = EvacuationPacing {
+            bottleneck: DataRate::mbps(200.0),
+            ..EvacuationPacing::wan_default(DataSize::megabytes(8.0))
+        };
+        assert!(p.wave_time() > SimDuration::from_millis(500));
+        assert!(p.offset_for(480) > SimDuration::from_secs(30));
     }
 
     #[test]

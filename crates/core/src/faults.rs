@@ -97,6 +97,10 @@ pub enum FailureDomain {
     PsuRail(usize),
     /// One airflow zone of the fan wall.
     ThermalZone(usize),
+    /// A whole fleet site: one enclosure plus its WAN uplink — the tier
+    /// above the enclosure wall, where faults arrive as utility power
+    /// loss, WAN partitions and rail brownouts (see [`SiteFault`]).
+    Site(usize),
 }
 
 /// The chassis failure-domain hierarchy, sized from the fabric topology
@@ -422,6 +426,10 @@ impl FaultInjector {
 
     /// Expected number of SoCs taken out of service after `horizon`.
     ///
+    /// (Site-tier faults are scheduled separately by
+    /// [`SiteFaultInjector`]; they operate in fleet sync windows, not
+    /// simulation time.)
+    ///
     /// A SoC leaves service when any of its own fault kinds strikes *or*
     /// its board drops, so the per-SoC hazard is the sum of the five
     /// per-SoC rates plus the board rate (every SoC sits on exactly one
@@ -437,6 +445,199 @@ impl FaultInjector {
             + self.link_afr
             + self.board_afr;
         socs as f64 * (1.0 - (-rate * years).exp())
+    }
+}
+
+/// A fault on the site tier of the hierarchy ([`FailureDomain::Site`]):
+/// whole enclosures and regions, the blast radii the enclosure-level
+/// machinery above cannot express. Site-tier state only changes at fleet
+/// synchronization barriers, so faults fire at a *window* index and last
+/// a whole number of windows (`socc-cluster::fleet` applies them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteFault {
+    /// One site's WAN uplink partitions from the control plane: the
+    /// enclosure keeps running, its users just cannot reach it.
+    Partition {
+        /// Site index.
+        site: usize,
+        /// Duration in sync windows.
+        windows: usize,
+    },
+    /// A regional WAN storm: every site in one contiguous region block
+    /// partitions at once — the correlated twin of scattered
+    /// single-site [`SiteFault::Partition`]s.
+    RegionStorm {
+        /// Region index on the WAN ring.
+        region: usize,
+        /// Duration in sync windows.
+        windows: usize,
+    },
+    /// Full site power loss: every PSU rail dark, all SoCs decommission
+    /// and the site's energy ledger flatlines until power returns.
+    Blackout {
+        /// Site index.
+        site: usize,
+        /// Duration in sync windows.
+        windows: usize,
+    },
+    /// One PSU rail lost at the site: every board's DVFS derates (the
+    /// same math as [`DomainFault::PowerBrownout`], one tier up) and the
+    /// site serves a reduced session population until the rail returns.
+    Brownout {
+        /// Site index.
+        site: usize,
+        /// Duration in sync windows.
+        windows: usize,
+    },
+}
+
+impl SiteFault {
+    /// Duration of the fault in sync windows.
+    pub fn windows(&self) -> usize {
+        match *self {
+            SiteFault::Partition { windows, .. }
+            | SiteFault::RegionStorm { windows, .. }
+            | SiteFault::Blackout { windows, .. }
+            | SiteFault::Brownout { windows, .. } => windows,
+        }
+    }
+
+    /// The failure domain the fault lands on — `None` for a regional
+    /// storm, which spans every [`FailureDomain::Site`] in its region
+    /// (the fleet expands it at apply time).
+    pub fn domain(&self) -> Option<FailureDomain> {
+        match *self {
+            SiteFault::Partition { site, .. }
+            | SiteFault::Blackout { site, .. }
+            | SiteFault::Brownout { site, .. } => Some(FailureDomain::Site(site)),
+            SiteFault::RegionStorm { .. } => None,
+        }
+    }
+
+    /// Sort key for deterministic schedule ordering at equal windows.
+    pub fn order(&self) -> (u8, usize, usize) {
+        match *self {
+            SiteFault::Partition { site, windows } => (0, site, windows),
+            SiteFault::RegionStorm { region, windows } => (1, region, windows),
+            SiteFault::Blackout { site, windows } => (2, site, windows),
+            SiteFault::Brownout { site, windows } => (3, site, windows),
+        }
+    }
+}
+
+/// A scheduled site-tier fault: fires at the barrier opening sync window
+/// `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteFaultEvent {
+    /// Window index the fault fires at.
+    pub window: usize,
+    /// What breaks, and where.
+    pub fault: SiteFault,
+}
+
+/// Seeded site-tier fault scheduler for fleet chaos campaigns: a Poisson
+/// count of each kind over the run, each at a uniform window and target,
+/// with a `1 + Poisson` duration — the same shape as the enclosure-level
+/// [`FaultInjector`], one tier up.
+///
+/// Degenerate inputs consume no randomness: a zero mean draws nothing
+/// for that kind, and zero sites/windows yields an empty schedule, so
+/// seeds stay comparable across configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteFaultInjector {
+    /// Expected single-site WAN partitions over the run.
+    pub mean_partitions: f64,
+    /// Expected regional partition storms over the run.
+    pub mean_storms: f64,
+    /// Expected full-site blackouts over the run.
+    pub mean_blackouts: f64,
+    /// Expected site rail brownouts over the run.
+    pub mean_brownouts: f64,
+    /// Mean fault length in windows beyond the first (`1 + Poisson`).
+    pub mean_windows: f64,
+}
+
+impl Default for SiteFaultInjector {
+    fn default() -> Self {
+        Self {
+            mean_partitions: 0.0,
+            mean_storms: 1.0,
+            mean_blackouts: 1.0,
+            mean_brownouts: 1.0,
+            mean_windows: 3.0,
+        }
+    }
+}
+
+impl SiteFaultInjector {
+    /// Draws a site-tier schedule for a fleet of `sites` sites over
+    /// `regions` WAN regions and `windows` sync windows, sorted by
+    /// `(window, kind, target)` so equal-window bursts apply in a fixed
+    /// order.
+    pub fn schedule(
+        &self,
+        sites: usize,
+        regions: usize,
+        windows: usize,
+        rng: &mut SimRng,
+    ) -> Vec<SiteFaultEvent> {
+        let mut events = Vec::new();
+        if sites == 0 || windows == 0 {
+            return events;
+        }
+        let dur = |rng: &mut SimRng| {
+            if self.mean_windows > 0.0 {
+                1 + rng.poisson(self.mean_windows) as usize
+            } else {
+                1
+            }
+        };
+        if self.mean_partitions > 0.0 {
+            for _ in 0..rng.poisson(self.mean_partitions) {
+                events.push(SiteFaultEvent {
+                    window: rng.uniform_usize(0, windows),
+                    fault: SiteFault::Partition {
+                        site: rng.uniform_usize(0, sites),
+                        windows: dur(rng),
+                    },
+                });
+            }
+        }
+        if self.mean_storms > 0.0 && regions > 0 {
+            for _ in 0..rng.poisson(self.mean_storms) {
+                events.push(SiteFaultEvent {
+                    window: rng.uniform_usize(0, windows),
+                    fault: SiteFault::RegionStorm {
+                        region: rng.uniform_usize(0, regions),
+                        windows: dur(rng),
+                    },
+                });
+            }
+        }
+        if self.mean_blackouts > 0.0 {
+            for _ in 0..rng.poisson(self.mean_blackouts) {
+                events.push(SiteFaultEvent {
+                    window: rng.uniform_usize(0, windows),
+                    fault: SiteFault::Blackout {
+                        site: rng.uniform_usize(0, sites),
+                        windows: dur(rng),
+                    },
+                });
+            }
+        }
+        if self.mean_brownouts > 0.0 {
+            for _ in 0..rng.poisson(self.mean_brownouts) {
+                events.push(SiteFaultEvent {
+                    window: rng.uniform_usize(0, windows),
+                    fault: SiteFault::Brownout {
+                        site: rng.uniform_usize(0, sites),
+                        windows: dur(rng),
+                    },
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.window, e.fault.order()));
+        events
     }
 }
 
@@ -667,6 +868,81 @@ mod tests {
         assert!(
             (mean - expected).abs() / expected < 0.1,
             "empirical {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn site_schedule_is_deterministic_and_window_sorted() {
+        let inj = SiteFaultInjector {
+            mean_partitions: 2.0,
+            mean_storms: 2.0,
+            mean_blackouts: 2.0,
+            mean_brownouts: 2.0,
+            mean_windows: 3.0,
+        };
+        let a = inj.schedule(12, 4, 100, &mut SimRng::seed(5));
+        let b = inj.schedule(12, 4, 100, &mut SimRng::seed(5));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "means of 2 must yield events");
+        for pair in a.windows(2) {
+            assert!(
+                (pair[0].window, pair[0].fault.order()) <= (pair[1].window, pair[1].fault.order()),
+                "schedule must be window-sorted: {pair:?}"
+            );
+        }
+        for e in &a {
+            assert!(e.window < 100);
+            assert!(e.fault.windows() >= 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_site_inputs_consume_no_randomness() {
+        let zero = SiteFaultInjector {
+            mean_partitions: 0.0,
+            mean_storms: 0.0,
+            mean_blackouts: 0.0,
+            mean_brownouts: 0.0,
+            mean_windows: 0.0,
+        };
+        let mut rng = SimRng::seed(9);
+        assert!(zero.schedule(12, 4, 100, &mut rng).is_empty());
+        let mut fresh = SimRng::seed(9);
+        assert_eq!(
+            rng.uniform_usize(0, 1 << 30),
+            fresh.uniform_usize(0, 1 << 30)
+        );
+
+        // Zero sites / zero windows: empty and stream-neutral even with
+        // non-zero means.
+        let inj = SiteFaultInjector::default();
+        let mut rng = SimRng::seed(9);
+        assert!(inj.schedule(0, 4, 100, &mut rng).is_empty());
+        assert!(inj.schedule(12, 4, 0, &mut rng).is_empty());
+        let mut fresh = SimRng::seed(9);
+        assert_eq!(
+            rng.uniform_usize(0, 1 << 30),
+            fresh.uniform_usize(0, 1 << 30)
+        );
+    }
+
+    #[test]
+    fn site_faults_map_onto_the_site_domain() {
+        assert_eq!(
+            SiteFault::Blackout {
+                site: 3,
+                windows: 2
+            }
+            .domain(),
+            Some(FailureDomain::Site(3))
+        );
+        assert_eq!(
+            SiteFault::RegionStorm {
+                region: 1,
+                windows: 2
+            }
+            .domain(),
+            None
         );
     }
 }

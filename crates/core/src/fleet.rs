@@ -7,25 +7,42 @@
 //! site — a full [`Orchestrator`] replaying that site's phase-shifted
 //! Fig. 5 gaming trace — plus a fleet-level control plane: a session
 //! placer that routes each site's user demand to a host site by
-//! (reachability, WAN RTT, load), and a seeded WAN-partition schedule
-//! that strands sessions and forces rerouting.
+//! (reachability, WAN RTT, load), a seeded WAN-partition schedule, and a
+//! site-tier fault layer ([`SiteFault`]) covering regional partition
+//! storms, full-site blackouts and rail brownouts.
+//!
+//! # Live inter-site migration
+//!
+//! A site fault displaces every session hosted there. Instead of
+//! stranding them until the fault heals, the control plane *live
+//! migrates* them: each displaced session is queued with a readiness
+//! window priced from physics — its GOP checkpoint size
+//! ([`gaming_checkpoint`]) over the calibrated WAN goodput of one
+//! migration lane, plus the control RTT
+//! ([`WanFabric::migration_time`](socc_net::wan::WanFabric::migration_time))
+//! — and paced into waves by [`EvacuationPacing`] so an evacuation storm
+//! cannot incast the WAN. When its transfer completes (readiness window
+//! reached), the fleet placer re-places it like any arrival, with
+//! priority over fresh demand. Session accounting is closed under all of
+//! this: see [`FleetSim::verify_session_accounting`].
 //!
 //! # Conservative time-window synchronization
 //!
 //! Shards advance independently between *barriers* spaced one
 //! synchronization window apart, and all cross-site effects — session
-//! routing, departures, WAN faults — cross shard boundaries only at
-//! barrier instants. The window is required to be at least the WAN's
-//! minimum cross-site RTT ([`socc_net::wan::WanFabric::min_rtt`]): no
-//! physical signal could travel between sites faster than that, so
-//! delaying cross-site delivery to the next barrier never delivers a
-//! message earlier than the real system could, and within a window each
-//! shard provably cannot be affected by any other. That makes every
-//! window three phases:
+//! routing, departures, migrations, WAN faults — cross shard boundaries
+//! only at barrier instants. The window is required to be at least the
+//! WAN's minimum cross-site RTT
+//! ([`socc_net::wan::WanFabric::min_rtt`]): no physical signal could
+//! travel between sites faster than that, so delaying cross-site
+//! delivery to the next barrier never delivers a message earlier than
+//! the real system could, and within a window each shard provably cannot
+//! be affected by any other. That makes every window three phases:
 //!
 //! 1. **plan** (serial): the fleet control plane reads last window's
-//!    per-site reports, applies due WAN fault events, and turns each
-//!    site's trace demand into per-site commands (arrivals, departures);
+//!    per-site reports, applies due heals and fault events, and turns
+//!    each site's trace demand into per-site commands (arrivals,
+//!    departures, migrations, power transitions);
 //! 2. **step** (parallel): each shard independently advances its
 //!    orchestrator to the barrier and applies its own commands — a pure
 //!    function of `(shard state, commands, barrier)`;
@@ -44,10 +61,41 @@ use socc_sim::rng::SimRng;
 use socc_sim::series::TimeSeries;
 use socc_sim::span::{EventKind, EventLog, Scope};
 use socc_sim::time::{SimDuration, SimTime};
+use socc_sim::units::{DataRate, DataSize};
+use socc_video::gop::GopStructure;
+use socc_video::video::{Resolution, VideoMeta};
 
+use crate::evacuation::EvacuationPacing;
+use crate::faults::{SiteFault, SiteFaultEvent};
 use crate::orchestrator::{Orchestrator, OrchestratorConfig, OrchestratorStats};
+use crate::recovery::brownout_throughput_frac;
 use crate::scheduler;
 use crate::workload::{WorkloadId, WorkloadSpec};
+
+/// Fraction of a site's PSU rail budget that survives a site brownout:
+/// one of two redundant feeds lost, so every board's DVFS derates to the
+/// throughput sustainable at half the rail power (the same
+/// [`brownout_throughput_frac`] math as the enclosure-tier
+/// `PowerBrownout`, one tier up).
+pub const SITE_BROWNOUT_RAIL_RATIO: f64 = 0.5;
+
+/// The state a live cloud-gaming session must move for an inter-site
+/// migration: the GOP checkpoint of a 1080p60 stream at `mbps` —
+/// reference frames, macroblock contexts and the in-flight half-GOP
+/// ([`GopStructure::checkpoint_size`] under the live-streaming GOP
+/// shape). This is what prices migration time over the WAN.
+pub fn gaming_checkpoint(mbps: f64) -> DataSize {
+    let meta = VideoMeta::synthetic(
+        "GAME",
+        "cloud-gaming",
+        Resolution::new(1920, 1080),
+        60.0,
+        5.0,
+        DataRate::mbps(mbps),
+        DataRate::mbps(mbps),
+    );
+    GopStructure::live_default().checkpoint_size(&meta)
+}
 
 /// Fleet construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +122,9 @@ pub struct FleetConfig {
     pub mean_partition_windows: f64,
     /// Per-site idle-SoC sleep threshold.
     pub sleep_after: Option<SimDuration>,
+    /// Pacing for live inter-site migrations: how many checkpoint
+    /// transfers run concurrently and over what share of the WAN.
+    pub migration: EvacuationPacing,
 }
 
 impl Default for FleetConfig {
@@ -89,6 +140,7 @@ impl Default for FleetConfig {
             mean_partitions: 2.0,
             mean_partition_windows: 3.0,
             sleep_after: Some(SimDuration::from_secs(120)),
+            migration: EvacuationPacing::wan_default(gaming_checkpoint(10.0)),
         }
     }
 }
@@ -117,12 +169,20 @@ impl SiteShard {
 /// steady state.
 #[derive(Debug, Default, Clone)]
 pub struct SiteCommands {
-    /// Sessions to finish at the barrier (fleet departures plus stranded
-    /// sessions timed out after a heal).
+    /// Sessions to finish at the barrier (fleet departures, brownout
+    /// evacuations, and zombie instances reaped after a partition heal).
     departures: Vec<WorkloadId>,
     /// Sessions to admit at the barrier, aggregated as
     /// `(home_site, count)`.
     arrivals: Vec<(u32, u32)>,
+    /// Migrated sessions landing at the barrier, aggregated as
+    /// `(home_site, count)`; admitted before `arrivals` — an evacuated
+    /// session outranks fresh demand for the same headroom.
+    migrations_in: Vec<(u32, u32)>,
+    /// Site power returns at the barrier: restore every SoC.
+    power_on: bool,
+    /// Site blacks out at the barrier: fail every SoC.
+    power_off: bool,
     /// Outbound bitrate per admitted session (fixed per run).
     mbps: f64,
 }
@@ -133,8 +193,16 @@ pub struct SiteWindowReport {
     /// Newly admitted sessions in submission order, tagged with the home
     /// site whose demand they serve.
     admitted: Vec<(u32, WorkloadId)>,
+    /// Migrated-in sessions in submission order, tagged with their home.
+    migrated_in: Vec<(u32, WorkloadId)>,
+    /// Migrations the orchestrator refused (no headroom despite the
+    /// estimate), as `(home_site, count)`; the control plane re-queues
+    /// them.
+    migration_rejected: Vec<(u32, u32)>,
     /// Arrivals the orchestrator rejected (site saturated).
     rejected: u32,
+    /// Workload instances killed by a site blackout this window.
+    killed: u32,
     /// Active workloads at the barrier.
     active: usize,
     /// Cumulative site energy at the barrier, joules.
@@ -166,13 +234,50 @@ impl SiteJob {
     pub fn step(&mut self) {
         let r = &mut self.report;
         r.admitted.clear();
+        r.migrated_in.clear();
+        r.migration_rejected.clear();
         r.rejected = 0;
+        r.killed = 0;
         let orch = &mut self.shard.orch;
         orch.advance_to(self.barrier);
+        let socs = orch.cluster().socs.len();
+        if self.commands.power_on {
+            for soc in 0..socs {
+                orch.restore_soc(soc);
+            }
+        }
         for &id in &self.commands.departures {
             // Departures only target sessions the control plane placed
             // here and has not finished elsewhere.
             orch.finish(id).expect("fleet-tracked session");
+        }
+        if self.commands.power_off {
+            // Full site power loss: every SoC drops at the barrier. The
+            // instances die with the site; their sessions are already in
+            // the control plane's migration queue.
+            for soc in 0..socs {
+                r.killed += orch.fail_soc(soc).len() as u32;
+            }
+        }
+        'migrations: for bi in 0..self.commands.migrations_in.len() {
+            let (home, count) = self.commands.migrations_in[bi];
+            for done in 0..count {
+                match orch.submit(WorkloadSpec::GamingSession {
+                    stream_mbps: self.commands.mbps,
+                }) {
+                    Ok(id) => r.migrated_in.push((home, id)),
+                    Err(_) => {
+                        // Identical specs: once one is refused, the rest
+                        // of this window's migrations would be too. Hand
+                        // them all back for re-placement.
+                        r.migration_rejected.push((home, count - done));
+                        for &(h, c) in &self.commands.migrations_in[bi + 1..] {
+                            r.migration_rejected.push((h, c));
+                        }
+                        break 'migrations;
+                    }
+                }
+            }
         }
         'arrivals: for bi in 0..self.commands.arrivals.len() {
             let (home, count) = self.commands.arrivals[bi];
@@ -213,18 +318,58 @@ pub struct FleetReport {
     pub routed: u64,
     /// Routed sessions hosted away from their home site.
     pub rerouted: u64,
+    /// Sessions that departed normally (trace demand fell), including
+    /// mid-migration cancellations.
+    pub finished: u64,
     /// Arrivals refused because no reachable site had estimated capacity.
     pub unplaceable: u64,
     /// Arrivals the host orchestrator rejected despite the estimate.
     pub rejected: u64,
-    /// Sessions stranded by WAN partitions (timed out at heal).
+    /// Sessions displaced by site faults and handed to the live
+    /// migrator (partitions, blackouts and brownout evacuations).
     pub stranded: u64,
-    /// WAN partitions applied.
+    /// Displaced sessions that completed a live inter-site migration.
+    pub migrated: u64,
+    /// Displaced sessions whose users left before the migration landed.
+    pub migration_cancelled: u64,
+    /// Migration placements deferred a window (no reachable headroom or
+    /// host-side rejection); retries, not sessions.
+    pub migration_retries: u64,
+    /// Displaced sessions still mid-transfer when the run ended.
+    pub in_flight: u64,
+    /// Orphaned instances cleaned up: reaped after a partition heal or
+    /// killed by a blackout while their sessions lived elsewhere.
+    pub zombies_reaped: u64,
+    /// Workload instances killed by site blackouts.
+    pub killed: u64,
+    /// WAN partitions applied (single-site, including storm expansions).
     pub partitions: u64,
+    /// Regional partition storms applied.
+    pub storms: u64,
+    /// Full-site blackouts applied.
+    pub blackouts: u64,
+    /// Site rail brownouts applied.
+    pub brownouts: u64,
+    /// Total session-windows of demand over the run.
+    pub demand_session_windows: u64,
+    /// Session-windows actually served (sessions live at each barrier).
+    pub served_session_windows: u64,
     /// Fleet energy over the run, kWh.
     pub fleet_kwh: f64,
     /// Peak instantaneous fleet power, watts.
     pub peak_fleet_power_w: f64,
+}
+
+impl FleetReport {
+    /// Fraction of demanded session-windows the fleet actually served —
+    /// the availability a chaos campaign gates on. `1.0` when the run
+    /// had no demand.
+    pub fn availability(&self) -> f64 {
+        if self.demand_session_windows == 0 {
+            return 1.0;
+        }
+        self.served_session_windows as f64 / self.demand_session_windows as f64
+    }
 }
 
 /// A planned WAN partition: `site` unreachable from `start` for `dur`
@@ -234,6 +379,18 @@ struct WanFault {
     start: usize,
     site: usize,
     dur: usize,
+}
+
+/// What a scheduled heal restores. Variant order is the tie-break for
+/// heals due at the same window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum HealKind {
+    /// WAN partition ends: the site is reachable again.
+    Partition,
+    /// Blackout ends: site power returns, SoCs restore.
+    Power,
+    /// Brownout ends: the rail returns, capacity un-derates.
+    Rail,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -264,22 +421,45 @@ pub struct FleetSim {
     /// Per home site: the LIFO stack of its live sessions as
     /// `(host_site, id)`.
     stacks: Vec<Vec<(u32, WorkloadId)>>,
-    /// Per host site: sessions stranded there by an ongoing partition,
-    /// finished (timed out) at heal.
-    stranded: Vec<Vec<WorkloadId>>,
+    /// Per host site: instances still running behind a partition while
+    /// their sessions migrated away — reaped at heal, killed by a
+    /// blackout.
+    orphaned: Vec<Vec<WorkloadId>>,
+    /// Per home site: displaced sessions mid-migration, each entry the
+    /// window its checkpoint transfer completes (placement-ready).
+    migrating: Vec<Vec<usize>>,
     /// Per-site placer load estimate (sessions), refreshed from reports.
     load_est: Vec<usize>,
+    /// Per-site placer capacity estimate; `session_capacity` normally,
+    /// derated while a brownout holds.
+    cap_est: Vec<usize>,
     unreachable: Vec<bool>,
+    /// Site power lost (blackout in progress).
+    dark: Vec<bool>,
+    /// Site rail derated (brownout in progress).
+    derated: Vec<bool>,
     /// Remaining WAN faults, soonest last (popped as windows pass).
     faults: Vec<WanFault>,
-    /// Heals scheduled as `(window, site)`, soonest last.
-    heals: Vec<(usize, usize)>,
+    /// Remaining site-tier faults, soonest last.
+    site_faults: Vec<SiteFaultEvent>,
+    /// Heals scheduled as `(window, kind, site)`, kept sorted descending
+    /// (soonest last) by binary insertion.
+    heals: Vec<(usize, HealKind, usize)>,
+    /// Per-site sessions displaced from it (migration accounting).
+    mig_out_by_site: Vec<u64>,
+    /// Per-site migrated sessions landed on it (migration accounting).
+    mig_in_by_site: Vec<u64>,
+    /// One migration wave's duration ([`EvacuationPacing::wave_time`]),
+    /// cached — it never changes within a run.
+    mig_wave: SimDuration,
     /// Fleet-scope control-plane event ring.
     events: EventLog,
     /// Scratch: arrivals routed per host this window (reused).
     routed_to: Vec<u32>,
     /// Scratch: of those, arrivals rerouted away from home (reused).
     rerouted_to: Vec<u32>,
+    /// Scratch: migrations placed per home this window (reused).
+    mig_placed: Vec<u32>,
     window_idx: usize,
     windows: usize,
     digest: u64,
@@ -289,7 +469,8 @@ pub struct FleetSim {
 
 impl FleetSim {
     /// Builds a fleet: per-site orchestrators, phase-shifted traces, and
-    /// a seeded WAN fault schedule.
+    /// a seeded WAN fault schedule. Equivalent to
+    /// [`Self::with_site_faults`] with an empty site-fault schedule.
     ///
     /// # Panics
     ///
@@ -297,6 +478,19 @@ impl FleetSim {
     /// shorter than the WAN RTT floor (the conservative sync argument
     /// requires `window ≥ min_rtt`).
     pub fn new(cfg: FleetConfig) -> Self {
+        Self::with_site_faults(cfg, Vec::new())
+    }
+
+    /// [`Self::new`] plus an explicit site-tier fault schedule (chaos
+    /// campaigns build these with
+    /// [`SiteFaultInjector`](crate::faults::SiteFaultInjector) or by
+    /// hand).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Self::new`] conditions, or if any event targets a
+    /// site outside the fleet or a region outside the WAN ring.
+    pub fn with_site_faults(cfg: FleetConfig, mut site_faults: Vec<SiteFaultEvent>) -> Self {
         assert!(cfg.sites > 0, "a fleet needs at least one site");
         let wan = WanFabric::edge_fleet_regions(cfg.sites, cfg.regions);
         assert!(
@@ -305,6 +499,26 @@ impl FleetSim {
             cfg.window,
             wan.min_rtt()
         );
+        for e in &site_faults {
+            match e.fault {
+                SiteFault::Partition { site, .. }
+                | SiteFault::Blackout { site, .. }
+                | SiteFault::Brownout { site, .. } => assert!(
+                    site < cfg.sites,
+                    "site fault targets site {site} outside the fleet of {}",
+                    cfg.sites
+                ),
+                SiteFault::RegionStorm { region, .. } => assert!(
+                    region < wan.region_count(),
+                    "region storm targets region {region}, ring has {}",
+                    wan.region_count()
+                ),
+            }
+        }
+        // Soonest last so applying due events is a pop; the secondary key
+        // makes same-window bursts deterministic.
+        site_faults.sort_by_key(|e| std::cmp::Reverse((e.window, e.fault.order())));
+
         let root = SimRng::seed(cfg.seed);
         let base_trace = socc_workloads::gaming::GamingTraceConfig::default();
         let mut traces = Vec::with_capacity(cfg.sites);
@@ -359,14 +573,23 @@ impl FleetSim {
             jobs,
             traces,
             stacks: vec![Vec::new(); cfg.sites],
-            stranded: vec![Vec::new(); cfg.sites],
+            orphaned: vec![Vec::new(); cfg.sites],
+            migrating: vec![Vec::new(); cfg.sites],
             load_est: vec![0; cfg.sites],
+            cap_est: vec![cfg.session_capacity; cfg.sites],
             unreachable: vec![false; cfg.sites],
+            dark: vec![false; cfg.sites],
+            derated: vec![false; cfg.sites],
             faults,
+            site_faults,
             heals: Vec::new(),
+            mig_out_by_site: vec![0; cfg.sites],
+            mig_in_by_site: vec![0; cfg.sites],
+            mig_wave: cfg.migration.wave_time(),
             events,
             routed_to: vec![0; cfg.sites],
             rerouted_to: vec![0; cfg.sites],
+            mig_placed: vec![0; cfg.sites],
             window_idx: 0,
             windows,
             digest: FNV_OFFSET,
@@ -409,6 +632,38 @@ impl FleetSim {
         &self.jobs[site].shard
     }
 
+    /// True while a WAN partition cuts the site off.
+    pub fn is_unreachable(&self, site: usize) -> bool {
+        self.unreachable[site]
+    }
+
+    /// True while a blackout holds the site dark.
+    pub fn is_dark(&self, site: usize) -> bool {
+        self.dark[site]
+    }
+
+    /// True while a brownout derates the site.
+    pub fn is_derated(&self, site: usize) -> bool {
+        self.derated[site]
+    }
+
+    /// Displaced sessions currently mid-migration (checkpoint transfers
+    /// in flight or awaiting placement).
+    pub fn in_flight_sessions(&self) -> usize {
+        self.migrating.iter().map(Vec::len).sum()
+    }
+
+    /// Instances still running behind unhealed partitions while their
+    /// sessions migrated away.
+    pub fn orphaned_instances(&self) -> usize {
+        self.orphaned.iter().map(Vec::len).sum()
+    }
+
+    /// Heals not yet applied (fault effects still outstanding).
+    pub fn pending_heals(&self) -> usize {
+        self.heals.len()
+    }
+
     /// The fleet-scope control-plane event log.
     pub fn events(&self) -> &EventLog {
         &self.events
@@ -431,9 +686,62 @@ impl FleetSim {
         self.report
     }
 
-    /// Phase 1 (serial): applies due WAN faults and turns each site's
-    /// trace demand into per-site commands. Returns `false` when the run
-    /// is complete. Must be followed by the step phase and
+    /// Checks that session accounting is closed — nothing lost, nothing
+    /// double-counted — and that per-site migration flows balance. Valid
+    /// between an [`Self::absorb`] and the next [`Self::plan_window`]
+    /// (mid-window, jobs are loaned out and orchestrator counts are in
+    /// motion). A debug build verifies this automatically at the end of
+    /// every run.
+    pub fn verify_session_accounting(&self) -> Result<(), String> {
+        assert!(!self.planned, "accounting is only closed at barriers");
+        let r = &self.report;
+        let live: u64 = self.stacks.iter().map(|s| s.len() as u64).sum();
+        let in_flight = self.in_flight_sessions() as u64;
+        let orphans = self.orphaned_instances() as u64;
+        let lhs = r.finished + live + r.rejected + in_flight;
+        if r.routed != lhs {
+            return Err(format!(
+                "routed {} != finished {} + live {live} + rejected {} + in-flight {in_flight}",
+                r.routed, r.finished, r.rejected
+            ));
+        }
+        let displaced = r.migrated + r.migration_cancelled + in_flight;
+        if r.stranded != displaced {
+            return Err(format!(
+                "stranded {} != migrated {} + cancelled {} + in-flight {in_flight}",
+                r.stranded, r.migrated, r.migration_cancelled
+            ));
+        }
+        let out: u64 = self.mig_out_by_site.iter().sum();
+        if out != r.stranded {
+            return Err(format!(
+                "per-site migrations out {out} != stranded {}",
+                r.stranded
+            ));
+        }
+        let landed: u64 = self.mig_in_by_site.iter().sum();
+        if landed != r.migrated {
+            return Err(format!(
+                "per-site migrations in {landed} != migrated {}",
+                r.migrated
+            ));
+        }
+        let active: u64 = self
+            .jobs
+            .iter()
+            .map(|j| j.shard.orch.active_workloads() as u64)
+            .sum();
+        if active != live + orphans {
+            return Err(format!(
+                "orchestrators run {active} instances != live {live} + orphaned {orphans}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Phase 1 (serial): applies due heals and fault events, then turns
+    /// each site's trace demand into per-site commands. Returns `false`
+    /// when the run is complete. Must be followed by the step phase and
     /// [`Self::absorb`] before the next call.
     pub fn plan_window(&mut self) -> bool {
         assert!(!self.planned, "plan_window called twice without absorb");
@@ -443,92 +751,136 @@ impl FleetSim {
         let w = self.window_idx;
         let barrier = SimTime::ZERO + self.cfg.window * w as u32;
 
-        // Heals first: a site that comes back this window may host again.
-        while let Some(&(at, site)) = self.heals.last() {
-            if at > w {
-                break;
-            }
-            self.heals.pop();
-            self.unreachable[site] = false;
-            self.events.record(
-                barrier,
-                Scope::Fleet,
-                EventKind::SiteHealed { site: site as u32 },
-            );
-            // Stranded sessions timed out during the partition: finish
-            // them now that commands can reach the site again.
-            let stranded = &mut self.stranded[site];
-            self.report.stranded += stranded.len() as u64;
-            self.jobs[site].commands.departures.append(stranded);
-        }
-        // Then new partitions.
+        // Heals first: a site that comes back this window may host again,
+        // and a same-window fault on it re-applies cleanly afterwards.
+        self.apply_heals(w, barrier);
+
+        // Legacy seeded WAN partitions.
         while let Some(&f) = self.faults.last() {
             if f.start > w {
                 break;
             }
             self.faults.pop();
-            if self.unreachable[f.site] {
-                continue; // already down; overlapping fault is absorbed
+            self.partition_site(f.site, f.dur, w, barrier);
+        }
+
+        // Site-tier chaos events.
+        while let Some(&e) = self.site_faults.last() {
+            if e.window > w {
+                break;
             }
-            self.unreachable[f.site] = true;
-            self.report.partitions += 1;
-            self.heals.push((w + f.dur, f.site));
-            self.heals.sort_by(|a, b| b.cmp(a)); // soonest last; O(few)
-            self.events.record(
-                barrier,
-                Scope::Fleet,
-                EventKind::SiteUnreachable {
-                    site: f.site as u32,
-                },
-            );
-            // Sessions hosted there are cut off from their users: strand
-            // them (their homes will re-demand capacity elsewhere).
-            for stack in &mut self.stacks {
-                let stranded = &mut self.stranded[f.site];
-                stack.retain(|&(host, id)| {
-                    let hit = host as usize == f.site;
-                    if hit {
-                        stranded.push(id);
+            self.site_faults.pop();
+            match e.fault {
+                SiteFault::Partition { site, windows } => {
+                    self.partition_site(site, windows, w, barrier);
+                }
+                SiteFault::RegionStorm { region, windows } => {
+                    self.report.storms += 1;
+                    self.events.record(
+                        barrier,
+                        Scope::Fleet,
+                        EventKind::RegionStorm {
+                            region: region as u32,
+                        },
+                    );
+                    for site in self.wan.sites_of_region(region) {
+                        self.partition_site(site, windows, w, barrier);
                     }
-                    !hit
-                });
+                }
+                SiteFault::Blackout { site, windows } => {
+                    self.blackout_site(site, windows, w, barrier);
+                }
+                SiteFault::Brownout { site, windows } => {
+                    self.brownout_site(site, windows, w, barrier);
+                }
             }
         }
 
         self.routed_to.iter_mut().for_each(|c| *c = 0);
         self.rerouted_to.iter_mut().for_each(|c| *c = 0);
+        self.mig_placed.iter_mut().for_each(|c| *c = 0);
+
+        // Demand deltas first: every home's departures free capacity
+        // before anything is placed.
         for home in 0..self.cfg.sites {
             let target = sessions_for(self.traces[home].samples()[w].1, self.cfg.mbps_per_session);
-            let stack = &mut self.stacks[home];
-            // Departures: newest sessions leave first.
-            while stack.len() > target {
-                let (host, id) = stack.pop().expect("len > target ≥ 0");
+            self.report.demand_session_windows += target as u64;
+            let committed = self.stacks[home].len() + self.migrating[home].len();
+            let mut surplus = committed.saturating_sub(target);
+            // Departures come from the hosted population first (newest
+            // first): a user mid-migration is one actively waiting for
+            // their session to resume, so in-flight checkpoints are the
+            // last thing demand decline cancels.
+            while surplus > 0 {
+                let Some((host, id)) = self.stacks[home].pop() else {
+                    break;
+                };
                 self.jobs[host as usize].commands.departures.push(id);
                 self.load_est[host as usize] = self.load_est[host as usize].saturating_sub(1);
+                self.report.finished += 1;
+                surplus -= 1;
             }
-            // Arrivals: home site if reachable and under the capacity
-            // estimate, else the closest (RTT, load, index) reachable
-            // site with headroom.
-            let mut need = target.saturating_sub(stack.len());
-            while need > 0 {
-                let host = if !self.unreachable[home]
-                    && self.load_est[home] < self.cfg.session_capacity
-                {
-                    Some(home)
+            // Only a fall below even the in-flight count cancels
+            // transfers, newest first: that user quit and never lands.
+            while surplus > 0 {
+                self.migrating[home].pop().expect("surplus ≤ committed");
+                self.report.migration_cancelled += 1;
+                self.report.finished += 1;
+                surplus -= 1;
+            }
+        }
+
+        // Completed migrations place next, with priority over fresh
+        // demand: an evacuated user is already mid-session.
+        for home in 0..self.cfg.sites {
+            let mut due = 0usize;
+            self.migrating[home].retain(|&ready| {
+                if ready <= w {
+                    due += 1;
+                    false
                 } else {
-                    (0..self.cfg.sites)
-                        .filter(|&s| {
-                            !self.unreachable[s] && self.load_est[s] < self.cfg.session_capacity
-                        })
-                        .min_by_key(|&s| (self.wan.rtt(home, s).as_nanos(), self.load_est[s], s))
+                    true
+                }
+            });
+            while due > 0 {
+                let Some(host) = self.pick_host(home) else {
+                    // Nowhere reachable with headroom: hold the
+                    // checkpoints and retry at the next barrier.
+                    self.report.migration_retries += due as u64;
+                    for _ in 0..due {
+                        self.migrating[home].push(w + 1);
+                    }
+                    break;
                 };
-                let Some(host) = host else {
+                let headroom = self.cap_est[host].saturating_sub(self.load_est[host]);
+                let batch = due.min(headroom);
+                self.load_est[host] += batch;
+                self.mig_placed[home] += batch as u32;
+                self.jobs[host]
+                    .commands
+                    .migrations_in
+                    .push((home as u32, batch as u32));
+                due -= batch;
+            }
+        }
+
+        // New arrivals last: home site if reachable and under the
+        // capacity estimate, else the closest (RTT, load, index)
+        // reachable site with headroom.
+        for home in 0..self.cfg.sites {
+            let target = sessions_for(self.traces[home].samples()[w].1, self.cfg.mbps_per_session);
+            let committed = self.stacks[home].len()
+                + self.migrating[home].len()
+                + self.mig_placed[home] as usize;
+            let mut need = target.saturating_sub(committed);
+            while need > 0 {
+                let Some(host) = self.pick_host(home) else {
                     self.report.unplaceable += need as u64;
                     break;
                 };
                 // All of this home's remaining need that fits the host's
                 // headroom goes there in one batch.
-                let headroom = self.cfg.session_capacity - self.load_est[host];
+                let headroom = self.cap_est[host].saturating_sub(self.load_est[host]);
                 let batch = need.min(headroom);
                 self.load_est[host] += batch;
                 self.routed_to[host] += batch as u32;
@@ -572,6 +924,220 @@ impl FleetSim {
         true
     }
 
+    /// The host for one of `home`'s sessions: the home site if it can
+    /// serve, else the closest (RTT, load, index) serving site with
+    /// estimated headroom. `None` when the whole fleet is out.
+    fn pick_host(&self, home: usize) -> Option<usize> {
+        let serves = |s: usize| !self.unreachable[s] && !self.dark[s];
+        if serves(home) && self.load_est[home] < self.cap_est[home] {
+            return Some(home);
+        }
+        (0..self.cfg.sites)
+            .filter(|&s| serves(s) && self.load_est[s] < self.cap_est[s])
+            .min_by_key(|&s| (self.wan.rtt(home, s).as_nanos(), self.load_est[s], s))
+    }
+
+    /// Pops due heals (soonest last) and reverses each fault's effect.
+    fn apply_heals(&mut self, w: usize, barrier: SimTime) {
+        while let Some(&(at, kind, site)) = self.heals.last() {
+            if at > w {
+                break;
+            }
+            self.heals.pop();
+            match kind {
+                HealKind::Partition => {
+                    self.unreachable[site] = false;
+                    self.events.record(
+                        barrier,
+                        Scope::Fleet,
+                        EventKind::SiteHealed { site: site as u32 },
+                    );
+                    // Instances that kept running behind the partition
+                    // while their sessions live-migrated away: reap the
+                    // zombies now that commands can reach the site again.
+                    let orphans = &mut self.orphaned[site];
+                    self.report.zombies_reaped += orphans.len() as u64;
+                    self.jobs[site].commands.departures.append(orphans);
+                }
+                HealKind::Power => {
+                    self.dark[site] = false;
+                    self.jobs[site].commands.power_on = true;
+                    self.events.record(
+                        barrier,
+                        Scope::Fleet,
+                        EventKind::SitePowerRestored { site: site as u32 },
+                    );
+                }
+                HealKind::Rail => {
+                    self.derated[site] = false;
+                    self.cap_est[site] = self.cfg.session_capacity;
+                    self.events.record(
+                        barrier,
+                        Scope::Fleet,
+                        EventKind::SiteBrownoutEnded { site: site as u32 },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Schedules a heal, keeping `heals` sorted descending (soonest
+    /// last) by binary insertion — a bursty fault window costs O(log n)
+    /// per heal instead of a full re-sort.
+    fn schedule_heal(&mut self, at: usize, kind: HealKind, site: usize) {
+        let h = (at, kind, site);
+        let pos = self.heals.partition_point(|&e| e > h);
+        self.heals.insert(pos, h);
+    }
+
+    /// Applies a WAN partition to one site: sessions hosted there are
+    /// displaced into the migration queue; their instances survive as
+    /// orphans behind the partition. Absorbed if the site is already cut
+    /// off or dark.
+    fn partition_site(&mut self, site: usize, dur: usize, w: usize, barrier: SimTime) {
+        if self.unreachable[site] || self.dark[site] {
+            return; // already down; overlapping fault is absorbed
+        }
+        self.unreachable[site] = true;
+        self.report.partitions += 1;
+        self.schedule_heal(w + dur.max(1), HealKind::Partition, site);
+        self.events.record(
+            barrier,
+            Scope::Fleet,
+            EventKind::SiteUnreachable { site: site as u32 },
+        );
+        self.displace_all(site, w, true);
+    }
+
+    /// Applies a full-site blackout: every hosted session is displaced,
+    /// every instance (including zombies behind an unhealed partition)
+    /// dies with the power, and the shard fails all SoCs at the barrier
+    /// so the site's energy ledger flatlines until power returns.
+    fn blackout_site(&mut self, site: usize, dur: usize, w: usize, barrier: SimTime) {
+        if self.dark[site] {
+            return; // already dark; overlapping fault is absorbed
+        }
+        self.dark[site] = true;
+        self.report.blackouts += 1;
+        self.schedule_heal(w + dur.max(1), HealKind::Power, site);
+        self.events.record(
+            barrier,
+            Scope::Fleet,
+            EventKind::SiteBlackout { site: site as u32 },
+        );
+        // Zombies behind an unhealed partition die with the site; their
+        // sessions already migrated (or are in flight).
+        let orphans = &mut self.orphaned[site];
+        self.report.zombies_reaped += orphans.len() as u64;
+        orphans.clear();
+        self.displace_all(site, w, false);
+        self.jobs[site].commands.power_off = true;
+        self.load_est[site] = 0;
+    }
+
+    /// Applies a site rail brownout: the placer capacity derates to the
+    /// DVFS-sustainable fraction at the surviving rail budget, and any
+    /// excess sessions evacuate (newest first) through the migration
+    /// queue.
+    fn brownout_site(&mut self, site: usize, dur: usize, w: usize, barrier: SimTime) {
+        if self.derated[site] || self.dark[site] || self.unreachable[site] {
+            return; // can't derate what's already down
+        }
+        self.derated[site] = true;
+        self.report.brownouts += 1;
+        let frac = brownout_throughput_frac(SITE_BROWNOUT_RAIL_RATIO);
+        self.cap_est[site] = (self.cfg.session_capacity as f64 * frac).floor() as usize;
+        self.schedule_heal(w + dur.max(1), HealKind::Rail, site);
+        self.events.record(
+            barrier,
+            Scope::Fleet,
+            EventKind::SiteBrownout {
+                site: site as u32,
+                permille: (frac * 1000.0).round() as u32,
+            },
+        );
+        let excess = self.load_est[site].saturating_sub(self.cap_est[site]);
+        if excess > 0 {
+            self.evacuate_excess(site, excess, w);
+        }
+    }
+
+    /// Displaces every session hosted at `site` into the migration
+    /// queue, paced into waves and priced per session by checkpoint size
+    /// over one WAN migration lane plus the control RTT. With `orphan`,
+    /// the instances keep running unreachable (partition); without, the
+    /// caller kills them (blackout).
+    fn displace_all(&mut self, site: usize, w: usize, orphan: bool) {
+        let lanes = self.cfg.migration.max_concurrent.max(1);
+        let lane = DataRate::bps(self.cfg.migration.bottleneck.as_bps() / lanes as f64);
+        let wave = self.mig_wave;
+        let win_nanos = self.cfg.window.as_nanos().max(1);
+        let mut idx = 0usize;
+        for home in 0..self.cfg.sites {
+            // Per-session price: wave queueing delay plus this pair's
+            // control RTT plus one checkpoint transfer at lane goodput.
+            let per = self
+                .wan
+                .migration_time(site, home, self.cfg.migration.state_size, lane);
+            let mig = &mut self.migrating[home];
+            let orph = &mut self.orphaned[site];
+            self.stacks[home].retain(|&(host, id)| {
+                if host as usize != site {
+                    return true;
+                }
+                let delay = wave * ((idx / lanes) as f64) + per;
+                // Cross-site effects land only at barriers: round up.
+                let ready = w + (delay.as_nanos().div_ceil(win_nanos) as usize).max(1);
+                mig.push(ready);
+                if orphan {
+                    orph.push(id);
+                }
+                idx += 1;
+                false
+            });
+        }
+        self.report.stranded += idx as u64;
+        self.mig_out_by_site[site] += idx as u64;
+    }
+
+    /// Evacuates `excess` sessions from a derated site, newest first,
+    /// through the same priced migration queue as [`Self::displace_all`].
+    /// Unlike a partition, the source is still reachable: the instances
+    /// finish cleanly (departures) instead of orphaning.
+    fn evacuate_excess(&mut self, site: usize, mut excess: usize, w: usize) {
+        let lanes = self.cfg.migration.max_concurrent.max(1);
+        let lane = DataRate::bps(self.cfg.migration.bottleneck.as_bps() / lanes as f64);
+        let wave = self.mig_wave;
+        let win_nanos = self.cfg.window.as_nanos().max(1);
+        let mut idx = 0usize;
+        for home in 0..self.cfg.sites {
+            let per = self
+                .wan
+                .migration_time(site, home, self.cfg.migration.state_size, lane);
+            while excess > 0 {
+                let Some(pos) = self.stacks[home]
+                    .iter()
+                    .rposition(|&(h, _)| h as usize == site)
+                else {
+                    break;
+                };
+                let (_, id) = self.stacks[home].remove(pos);
+                self.jobs[site].commands.departures.push(id);
+                self.load_est[site] = self.load_est[site].saturating_sub(1);
+                let delay = wave * ((idx / lanes) as f64) + per;
+                let ready = w + (delay.as_nanos().div_ceil(win_nanos) as usize).max(1);
+                self.migrating[home].push(ready);
+                idx += 1;
+                excess -= 1;
+            }
+            if excess == 0 {
+                break;
+            }
+        }
+        self.report.stranded += idx as u64;
+        self.mig_out_by_site[site] += idx as u64;
+    }
+
     /// Loans out the planned window's jobs for the (parallelizable) step
     /// phase. Every job must be stepped exactly once and the whole `Vec`
     /// handed back to [`Self::absorb`] in unchanged order.
@@ -596,16 +1162,47 @@ impl FleetSim {
             for &(home, id) in &r.admitted {
                 self.stacks[home as usize].push((site as u32, id));
             }
+            let mut landed = 0u32;
+            for &(home, id) in &r.migrated_in {
+                self.stacks[home as usize].push((site as u32, id));
+                landed += 1;
+            }
+            if landed > 0 {
+                self.report.migrated += u64::from(landed);
+                self.mig_in_by_site[site] += u64::from(landed);
+                self.events.record(
+                    job.barrier,
+                    Scope::Fleet,
+                    EventKind::SessionsMigrated {
+                        site: site as u32,
+                        count: landed,
+                    },
+                );
+            }
+            // Host-side rejections bounce the checkpoints back into the
+            // queue; they retry at the next barrier.
+            let mut bounced = 0u32;
+            for &(home, count) in &r.migration_rejected {
+                for _ in 0..count {
+                    self.migrating[home as usize].push(self.window_idx + 1);
+                }
+                bounced += count;
+            }
+            self.report.migration_retries += u64::from(bounced);
             // The orchestrator's count is authoritative; rejections made
             // the plan-time estimate optimistic.
             self.load_est[site] = r.active;
             self.report.rejected += u64::from(r.rejected);
+            self.report.killed += u64::from(r.killed);
             fleet_power += r.power_w;
 
             fnv_fold(&mut self.digest, self.window_idx as u64);
             fnv_fold(&mut self.digest, site as u64);
             fnv_fold(&mut self.digest, r.active as u64);
             fnv_fold(&mut self.digest, u64::from(r.rejected));
+            fnv_fold(&mut self.digest, r.migrated_in.len() as u64);
+            fnv_fold(&mut self.digest, u64::from(bounced));
+            fnv_fold(&mut self.digest, u64::from(r.killed));
             fnv_fold(&mut self.digest, r.stats.admitted);
             fnv_fold(&mut self.digest, r.stats.completed);
             fnv_fold(&mut self.digest, r.stats.wakeups);
@@ -614,14 +1211,24 @@ impl FleetSim {
 
             job.commands.departures.clear();
             job.commands.arrivals.clear();
+            job.commands.migrations_in.clear();
+            job.commands.power_on = false;
+            job.commands.power_off = false;
         }
         self.report.peak_fleet_power_w = self.report.peak_fleet_power_w.max(fleet_power);
+        self.report.served_session_windows +=
+            self.stacks.iter().map(|s| s.len() as u64).sum::<u64>();
+        self.report.in_flight = self.in_flight_sessions() as u64;
         self.window_idx += 1;
         self.report.windows = self.window_idx;
         self.planned = false;
         if self.done() {
             self.report.fleet_kwh =
                 self.jobs.iter().map(|j| j.report.energy_j).sum::<f64>() / 3.6e6;
+            #[cfg(debug_assertions)]
+            if let Err(e) = self.verify_session_accounting() {
+                panic!("fleet session accounting violated at end of run: {e}");
+            }
         }
     }
 
@@ -669,6 +1276,8 @@ mod tests {
         assert!(r.fleet_kwh > 0.0);
         assert_eq!(r.unplaceable, 0, "Fig. 5 demand fits the fleet: {r:?}");
         assert_eq!(r.rejected, 0, "{r:?}");
+        assert!(r.availability() > 0.9, "{r:?}");
+        fleet.verify_session_accounting().expect("closed books");
     }
 
     #[test]
@@ -701,7 +1310,7 @@ mod tests {
     }
 
     #[test]
-    fn partitions_strand_and_reroute() {
+    fn partitions_displace_and_live_migrate() {
         let cfg = FleetConfig {
             mean_partitions: 6.0,
             mean_partition_windows: 6.0,
@@ -715,13 +1324,19 @@ mod tests {
         assert!(r.partitions > 0, "seed must yield partitions: {r:?}");
         assert!(r.stranded > 0, "{r:?}");
         assert!(r.rerouted > 0, "{r:?}");
-        // Every stranded session was eventually finished: live sessions
-        // equal the sum of home stacks.
-        let live: usize = (0..cfg.sites)
-            .map(|s| fleet.shard(s).orchestrator().active_workloads())
-            .sum();
-        let tracked: usize = fleet.stacks.iter().map(Vec::len).sum();
-        assert_eq!(live, tracked);
+        // Displaced sessions live-migrate instead of dying with the
+        // partition; with the default (fast) WAN pacing nearly all land.
+        assert!(r.migrated > 0, "{r:?}");
+        assert_eq!(
+            r.migrated + r.migration_cancelled + r.in_flight,
+            r.stranded,
+            "{r:?}"
+        );
+        assert!(
+            r.migrated * 10 >= r.stranded * 9,
+            "≥90% of displaced sessions must land: {r:?}"
+        );
+        fleet.verify_session_accounting().expect("closed books");
     }
 
     #[test]
@@ -735,6 +1350,312 @@ mod tests {
         assert_eq!(r.partitions, 0);
         assert_eq!(r.rerouted, 0, "capacity never forces rerouting: {r:?}");
         assert_eq!(r.stranded, 0);
+        assert_eq!(r.migrated, 0);
+        assert_eq!(r.killed, 0);
+    }
+
+    #[test]
+    fn blackout_kills_instances_and_flatlines_power() {
+        let dark_from = 20;
+        let dark_for = 5;
+        let faults = vec![SiteFaultEvent {
+            window: dark_from,
+            fault: SiteFault::Blackout {
+                site: 1,
+                windows: dark_for,
+            },
+        }];
+        let cfg = FleetConfig {
+            mean_partitions: 0.0,
+            ..small()
+        };
+        let mut fleet = FleetSim::with_site_faults(cfg, faults);
+        let mut power_before = 0.0;
+        let mut dark_power = f64::MAX;
+        let mut dark_energy = (0.0, 0.0);
+        while fleet.plan_window() {
+            let mut jobs = fleet.take_window();
+            for job in &mut jobs {
+                job.step();
+            }
+            fleet.absorb(jobs);
+            let w = fleet.windows_done() - 1;
+            let orch = fleet.shard(1).orchestrator();
+            if w == dark_from - 1 {
+                power_before = orch.power().as_watts();
+            }
+            if w == dark_from {
+                dark_energy.0 = orch.energy().as_joules();
+            }
+            if w > dark_from && w < dark_from + dark_for {
+                dark_power = dark_power.min(orch.power().as_watts());
+                dark_energy.1 = orch.energy().as_joules();
+            }
+        }
+        let r = fleet.report();
+        assert_eq!(r.blackouts, 1, "{r:?}");
+        assert!(r.killed > 0, "dark SoCs kill their instances: {r:?}");
+        assert!(r.stranded > 0 && r.migrated > 0, "{r:?}");
+        // While dark, only chassis overhead draws power...
+        let chassis = fleet
+            .shard(1)
+            .orchestrator()
+            .cluster()
+            .chassis_power()
+            .as_watts();
+        assert!(
+            dark_power <= chassis * 1.05,
+            "dark site must idle at the chassis floor: {dark_power} W vs chassis {chassis} W"
+        );
+        assert!(dark_power < power_before, "blackout must cut power");
+        // ...so the energy ledger flatlines near the chassis rate. The
+        // fan tracks temperature, which decays over the first dark
+        // windows, hence the margin above the instantaneous floor.
+        let window_s = 120.0;
+        let dark_joules = dark_energy.1 - dark_energy.0;
+        let dark_windows = (dark_for - 1) as f64;
+        assert!(
+            dark_joules <= chassis * window_s * dark_windows * 1.25,
+            "dark energy {dark_joules} J exceeds the chassis floor {chassis} W"
+        );
+        assert!(
+            dark_joules < 0.9 * power_before * window_s * dark_windows,
+            "dark energy {dark_joules} J is not flat vs pre-blackout {power_before} W"
+        );
+        // And the per-site ledger still conserves energy end-to-end.
+        for site in 0..fleet.config().sites {
+            fleet
+                .shard(site)
+                .orchestrator()
+                .verify_energy_conservation(1e-6)
+                .expect("ledger conserves through blackout");
+        }
+        fleet.verify_session_accounting().expect("closed books");
+    }
+
+    #[test]
+    fn region_storm_partitions_the_whole_block() {
+        let cfg = FleetConfig {
+            sites: 8,
+            regions: 4,
+            mean_partitions: 0.0,
+            ..small()
+        };
+        let faults = vec![SiteFaultEvent {
+            window: 10,
+            fault: SiteFault::RegionStorm {
+                region: 1,
+                windows: 3,
+            },
+        }];
+        let mut fleet = FleetSim::with_site_faults(cfg, faults);
+        let block = fleet.wan().sites_of_region(1);
+        let block_len = block.len() as u64;
+        fleet.run_to_end();
+        let r = fleet.report();
+        assert_eq!(r.storms, 1, "{r:?}");
+        assert_eq!(
+            r.partitions, block_len,
+            "a storm partitions every site in its region: {r:?}"
+        );
+        assert!(r.stranded > 0 && r.migrated > 0, "{r:?}");
+        fleet.verify_session_accounting().expect("closed books");
+    }
+
+    #[test]
+    fn brownout_derates_capacity_and_evacuates_excess() {
+        // Two same-phase sites run a full day so the Fig. 5 evening peak
+        // saturates the (lowered) capacity estimate; a brownout at peak
+        // then derates below current load and must evacuate the excess.
+        let cfg = FleetConfig {
+            sites: 2,
+            regions: 1,
+            hours: 24,
+            session_capacity: 300,
+            mean_partitions: 0.0,
+            ..FleetConfig::default()
+        };
+        // 21:00 at 120 s windows.
+        let peak_window = 21 * 30;
+        let faults = vec![SiteFaultEvent {
+            window: peak_window,
+            fault: SiteFault::Brownout {
+                site: 0,
+                windows: 6,
+            },
+        }];
+        let mut fleet = FleetSim::with_site_faults(cfg, faults);
+        let mut derated_cap = usize::MAX;
+        while fleet.plan_window() {
+            let mut jobs = fleet.take_window();
+            for job in &mut jobs {
+                job.step();
+            }
+            fleet.absorb(jobs);
+            if fleet.is_derated(0) {
+                derated_cap = derated_cap.min(fleet.cap_est[0]);
+            }
+        }
+        let r = fleet.report();
+        assert_eq!(r.brownouts, 1, "{r:?}");
+        let frac = brownout_throughput_frac(SITE_BROWNOUT_RAIL_RATIO);
+        assert!(frac > 0.0 && frac < 1.0, "derate must be partial: {frac}");
+        assert_eq!(derated_cap, (300.0 * frac).floor() as usize);
+        assert!(
+            r.stranded > 0,
+            "peak load above the derated cap must evacuate: {r:?}"
+        );
+        fleet.verify_session_accounting().expect("closed books");
+    }
+
+    #[test]
+    fn bursty_same_window_heals_stay_ordered() {
+        // Four faults of three kinds land in the same window with
+        // different durations; the binary-inserted heal queue must stay
+        // strictly descending throughout and fire each heal on time.
+        let at = 5;
+        let faults = vec![
+            SiteFaultEvent {
+                window: at,
+                fault: SiteFault::Partition {
+                    site: 0,
+                    windows: 9,
+                },
+            },
+            SiteFaultEvent {
+                window: at,
+                fault: SiteFault::Partition {
+                    site: 1,
+                    windows: 2,
+                },
+            },
+            SiteFaultEvent {
+                window: at,
+                fault: SiteFault::Blackout {
+                    site: 2,
+                    windows: 5,
+                },
+            },
+            SiteFaultEvent {
+                window: at,
+                fault: SiteFault::Brownout {
+                    site: 3,
+                    windows: 5,
+                },
+            },
+        ];
+        let cfg = FleetConfig {
+            mean_partitions: 0.0,
+            ..small()
+        };
+        let mut fleet = FleetSim::with_site_faults(cfg, faults);
+        while fleet.plan_window() {
+            // Strictly descending: soonest heal last, no duplicates.
+            for pair in fleet.heals.windows(2) {
+                assert!(pair[0] > pair[1], "heal queue out of order: {pair:?}");
+            }
+            let mut jobs = fleet.take_window();
+            for job in &mut jobs {
+                job.step();
+            }
+            fleet.absorb(jobs);
+            let w = fleet.windows_done() - 1;
+            // Each effect ends exactly at its scheduled heal window.
+            assert_eq!(fleet.is_unreachable(1), (at..at + 2).contains(&w));
+            assert_eq!(fleet.is_dark(2), (at..at + 5).contains(&w));
+            assert_eq!(fleet.is_derated(3), (at..at + 5).contains(&w));
+            assert_eq!(fleet.is_unreachable(0), (at..at + 9).contains(&w));
+        }
+        assert_eq!(fleet.pending_heals(), 0);
+        assert_eq!(fleet.orphaned_instances(), 0);
+        fleet.verify_session_accounting().expect("closed books");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_order_independent() {
+        let cfg = FleetConfig {
+            sites: 8,
+            regions: 4,
+            hours: 4,
+            mean_partitions: 2.0,
+            ..small()
+        };
+        let faults = || {
+            vec![
+                SiteFaultEvent {
+                    window: 8,
+                    fault: SiteFault::RegionStorm {
+                        region: 2,
+                        windows: 4,
+                    },
+                },
+                SiteFaultEvent {
+                    window: 30,
+                    fault: SiteFault::Blackout {
+                        site: 0,
+                        windows: 3,
+                    },
+                },
+                SiteFaultEvent {
+                    window: 30,
+                    fault: SiteFault::Brownout {
+                        site: 1,
+                        windows: 6,
+                    },
+                },
+            ]
+        };
+        let mut a = FleetSim::with_site_faults(cfg, faults());
+        let mut b = FleetSim::with_site_faults(cfg, faults());
+        a.run_to_end();
+        while b.plan_window() {
+            let mut jobs = b.take_window();
+            for job in jobs.iter_mut().rev() {
+                job.step();
+            }
+            b.absorb(jobs);
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.report(), b.report());
+        assert!(a.report().storms == 1 && a.report().blackouts == 1);
+        a.verify_session_accounting().expect("closed books");
+    }
+
+    #[test]
+    fn accounting_stays_closed_every_window() {
+        let cfg = FleetConfig {
+            mean_partitions: 4.0,
+            hours: 4,
+            seed: 13,
+            ..small()
+        };
+        let faults = vec![
+            SiteFaultEvent {
+                window: 12,
+                fault: SiteFault::Blackout {
+                    site: 2,
+                    windows: 4,
+                },
+            },
+            SiteFaultEvent {
+                window: 40,
+                fault: SiteFault::Brownout {
+                    site: 0,
+                    windows: 8,
+                },
+            },
+        ];
+        let mut fleet = FleetSim::with_site_faults(cfg, faults);
+        while fleet.plan_window() {
+            let mut jobs = fleet.take_window();
+            for job in &mut jobs {
+                job.step();
+            }
+            fleet.absorb(jobs);
+            fleet
+                .verify_session_accounting()
+                .unwrap_or_else(|e| panic!("window {}: {e}", fleet.windows_done()));
+        }
     }
 
     #[test]
@@ -766,11 +1687,36 @@ mod tests {
     }
 
     #[test]
+    fn gaming_checkpoint_is_megabytes_scale() {
+        let s = gaming_checkpoint(10.0);
+        let mb = s.as_bytes() / 1e6;
+        assert!(
+            (1.0..64.0).contains(&mb),
+            "1080p60 checkpoint should be MB-scale, got {mb} MB"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "WAN RTT floor")]
     fn sub_rtt_window_is_rejected() {
         let _ = FleetSim::new(FleetConfig {
             window: SimDuration::from_millis(5),
             ..small()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fleet")]
+    fn out_of_range_site_fault_is_rejected() {
+        let _ = FleetSim::with_site_faults(
+            small(),
+            vec![SiteFaultEvent {
+                window: 0,
+                fault: SiteFault::Blackout {
+                    site: 99,
+                    windows: 1,
+                },
+            }],
+        );
     }
 }

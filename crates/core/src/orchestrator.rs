@@ -696,13 +696,20 @@ impl Orchestrator {
             .map(|(&id, _)| id)
             .collect();
         victims.sort();
-        victims
+        let stranded = victims
             .into_iter()
             .map(|id| {
                 let placed = self.workloads.remove(&id).expect("victim exists");
                 (id, placed.spec)
             })
-            .collect()
+            .collect();
+        // The meter and ledger must see the slot go dark *now*: without a
+        // sample here, energy until the next power-recording operation
+        // would be billed at the pre-fault level — a whole-site blackout
+        // (every SoC failed, nothing submitted until power returns) would
+        // never flatline.
+        self.record_power();
+        stranded
     }
 
     /// Returns a previously failed SoC to service (post power-cycle,

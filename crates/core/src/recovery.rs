@@ -33,6 +33,18 @@ use crate::priority::{priority_of, Priority, PriorityAdmission};
 use crate::telemetry::TelemetrySink;
 use crate::workload::{WorkloadId, WorkloadSpec};
 
+/// Throughput fraction an enclosure keeps when its PSU envelope drops to
+/// `ratio` of nominal: the best Kryo-585 operating point affordable under
+/// the derated power budget. Power is superlinear in frequency, so the
+/// fraction kept always exceeds the power fraction lost. Shared by the
+/// single-enclosure brownout path here and the fleet's site-brownout
+/// derating (`crate::fleet`).
+pub fn brownout_throughput_frac(ratio: f64) -> f64 {
+    let dvfs = DvfsDomain::kryo585_prime();
+    let budget = dvfs.power_at(dvfs.max_opp()) * ratio;
+    dvfs.throughput_cap_under_power(budget)
+}
+
 /// Temperature asserted at the BMC while a SoC is thermally tripped.
 const TRIP_TEMP_C: f64 = 105.0;
 
@@ -518,9 +530,7 @@ impl RecoveryEngine {
                 // exceeds the power fraction lost.
                 let full = RedundantPsu::cluster_default().capacity().as_watts();
                 let ratio = self.psu.capacity().as_watts() / full;
-                let dvfs = DvfsDomain::kryo585_prime();
-                let budget = dvfs.power_at(dvfs.max_opp()) * ratio;
-                let frac = dvfs.throughput_cap_under_power(budget);
+                let frac = brownout_throughput_frac(ratio);
                 self.orch.events_mut().record(
                     now,
                     Scope::Fault,

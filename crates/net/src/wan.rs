@@ -19,8 +19,12 @@
 //! no packets — because cross-site traffic in the fleet simulator only
 //! crosses shard boundaries at barrier instants anyway.
 
+use std::ops::Range;
+
 use socc_sim::time::SimDuration;
-use socc_sim::units::DataRate;
+use socc_sim::units::{DataRate, DataSize};
+
+use crate::tcp::TcpModel;
 
 /// The fleet's inter-site network: a ring of geographic regions.
 #[derive(Debug, Clone)]
@@ -98,6 +102,40 @@ impl WanFabric {
     /// The region a site belongs to.
     pub fn region_of(&self, site: usize) -> usize {
         usize::from(self.regions[site])
+    }
+
+    /// The contiguous block of sites belonging to a region — the blast
+    /// radius of a regional WAN partition storm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region >= self.region_count()`.
+    pub fn sites_of_region(&self, region: usize) -> Range<usize> {
+        assert!(
+            region < self.region_count,
+            "region {region} out of range (fabric has {})",
+            self.region_count
+        );
+        let sites = self.sites();
+        let start = (region * sites).div_ceil(self.region_count);
+        let end = ((region + 1) * sites).div_ceil(self.region_count);
+        start..end
+    }
+
+    /// Time to live-migrate one session's `state` from site `from` to
+    /// site `to`: a control round trip to arrange the hand-off, plus the
+    /// checkpoint transfer at the calibrated TCP goodput of `lane` — the
+    /// WAN share a single migration stream is granted, not the raw
+    /// uplink rate ([`TcpModel::inter_soc`] carries the packet-measured
+    /// goodput factor).
+    pub fn migration_time(
+        &self,
+        from: usize,
+        to: usize,
+        state: DataSize,
+        lane: DataRate,
+    ) -> SimDuration {
+        self.rtt(from, to) + TcpModel::inter_soc().transfer_time(state, lane)
     }
 
     /// Region hops between two sites along the shorter arc of the ring.
@@ -222,6 +260,43 @@ mod tests {
         assert_eq!(w.rtt(0, 3), w.min_rtt());
         assert_eq!(w.max_rtt(), w.min_rtt());
         assert_eq!(w.local_phase_hours(3), 0.0);
+    }
+
+    #[test]
+    fn region_blocks_partition_the_site_axis() {
+        let w = fabric();
+        let mut covered = 0;
+        for r in 0..w.region_count() {
+            let block = w.sites_of_region(r);
+            assert_eq!(block.start, covered, "blocks must be contiguous");
+            for s in block.clone() {
+                assert_eq!(w.region_of(s), r);
+            }
+            covered = block.end;
+        }
+        assert_eq!(covered, w.sites());
+        // Uneven split: 10 sites over 4 regions still partitions exactly.
+        let w = WanFabric::edge_fleet_regions(10, 4);
+        let total: usize = (0..4).map(|r| w.sites_of_region(r).len()).sum();
+        assert_eq!(total, 10);
+        for s in 0..10 {
+            assert!(w.sites_of_region(w.region_of(s)).contains(&s));
+        }
+    }
+
+    #[test]
+    fn migration_time_prices_rtt_plus_goodput_transfer() {
+        let w = fabric();
+        let state = DataSize::megabytes(8.0);
+        let lane = DataRate::mbps(100.0);
+        let near = w.migration_time(0, 5, state, lane);
+        let far = w.migration_time(0, 130, state, lane);
+        // Same transfer, longer control RTT.
+        assert_eq!(far - near, w.rtt(0, 130) - w.rtt(0, 5));
+        // The transfer component budgets for goodput below the raw lane
+        // rate: strictly slower than a raw-rate transfer.
+        let raw = state / lane;
+        assert!(near - w.rtt(0, 5) > raw);
     }
 
     #[test]

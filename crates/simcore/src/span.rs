@@ -322,6 +322,42 @@ pub enum EventKind {
         /// Sessions rerouted this window.
         count: u32,
     },
+    /// A site lost utility power: every PSU rail dark, all SoCs down.
+    SiteBlackout {
+        /// Site index.
+        site: u32,
+    },
+    /// A blacked-out site's power returned; SoCs restored to service.
+    SitePowerRestored {
+        /// Site index.
+        site: u32,
+    },
+    /// A site lost one PSU rail: every board's DVFS derated until the
+    /// rail returns.
+    SiteBrownout {
+        /// Site index.
+        site: u32,
+        /// Throughput fraction the site keeps, permille.
+        permille: u32,
+    },
+    /// A browned-out site's rail returned; full capacity restored.
+    SiteBrownoutEnded {
+        /// Site index.
+        site: u32,
+    },
+    /// A regional WAN storm partitioned every site in one region.
+    RegionStorm {
+        /// Region index.
+        region: u32,
+    },
+    /// Live inter-site migrations that landed at a host site in one sync
+    /// window.
+    SessionsMigrated {
+        /// Host site the sessions resumed at.
+        site: u32,
+        /// Migrations completed this window.
+        count: u32,
+    },
     /// A transcode session was planned.
     SessionPlanned {
         /// Frames the session covers.
@@ -389,6 +425,12 @@ impl EventKind {
             EventKind::SiteHealed { .. } => "site_healed",
             EventKind::SessionsRouted { .. } => "sessions_routed",
             EventKind::SessionsRerouted { .. } => "sessions_rerouted",
+            EventKind::SiteBlackout { .. } => "site_blackout",
+            EventKind::SitePowerRestored { .. } => "site_power_restored",
+            EventKind::SiteBrownout { .. } => "site_brownout",
+            EventKind::SiteBrownoutEnded { .. } => "site_brownout_ended",
+            EventKind::RegionStorm { .. } => "region_storm",
+            EventKind::SessionsMigrated { .. } => "sessions_migrated",
             EventKind::SessionPlanned { .. } => "session_planned",
             EventKind::ServeEvaluated { .. } => "serve_evaluated",
             EventKind::SpanBegin { .. } => "span_begin",
@@ -456,11 +498,23 @@ impl EventKind {
             | EventKind::EcnMarked { link } => return [Some(("link", U64(u64::from(link)))), None],
             EventKind::CwndReduced { flow } => return [Some(("flow", U64(flow))), None],
             EventKind::EvacuationPaced { held } => return [Some(("held", U64(held))), None],
-            EventKind::SiteUnreachable { site } | EventKind::SiteHealed { site } => {
+            EventKind::SiteUnreachable { site }
+            | EventKind::SiteHealed { site }
+            | EventKind::SiteBlackout { site }
+            | EventKind::SitePowerRestored { site }
+            | EventKind::SiteBrownoutEnded { site } => {
                 return [Some(("site", U64(u64::from(site)))), None]
             }
+            EventKind::SiteBrownout { site, permille } => Some([
+                ("site", U64(u64::from(site))),
+                ("permille", U64(u64::from(permille))),
+            ]),
+            EventKind::RegionStorm { region } => {
+                return [Some(("region", U64(u64::from(region)))), None]
+            }
             EventKind::SessionsRouted { site, count }
-            | EventKind::SessionsRerouted { site, count } => Some([
+            | EventKind::SessionsRerouted { site, count }
+            | EventKind::SessionsMigrated { site, count } => Some([
                 ("site", U64(u64::from(site))),
                 ("count", U64(u64::from(count))),
             ]),

@@ -1,0 +1,115 @@
+//! Regression: the evacuation-pacing × partition-heal race.
+//!
+//! A WAN partition displaces every session hosted at the victim site
+//! into the live-migration queue, paced by [`EvacuationPacing`] into
+//! waves that can stretch far past the partition's own heal. When the
+//! heal lands while checkpoints are still in flight, three things can go
+//! wrong, and this test pins all of them:
+//!
+//! - **double-migration** — the healed site re-entering the placement
+//!   pool must not re-displace or duplicate sessions already queued
+//!   (conservation: `stranded = migrated + cancelled + in-flight`,
+//!   checked every window);
+//! - **orphan leaks** — every instance stranded on the victim is reaped
+//!   exactly once at the heal, not left behind and not reaped again when
+//!   its session lands elsewhere;
+//! - **stuck drains** — in-flight transfers keep landing after the heal
+//!   (the queue drains to zero) and the healed site goes back to hosting
+//!   sessions.
+
+use socc_cluster::evacuation::EvacuationPacing;
+use socc_cluster::faults::{SiteFault, SiteFaultEvent};
+use socc_cluster::fleet::{FleetConfig, FleetSim};
+use socc_sim::time::SimDuration;
+use socc_sim::units::{DataRate, DataSize};
+
+#[test]
+fn partition_heal_during_paced_evacuation_neither_double_migrates_nor_leaks() {
+    // One migration stream over a 10 Mbps lane moving 8 MB checkpoints:
+    // ~7 s per session, so a site's worth of displaced sessions drains
+    // over many 120 s windows — far past the one-window partition.
+    let cfg = FleetConfig {
+        sites: 4,
+        regions: 4,
+        hours: 2,
+        seed: 11,
+        mean_partitions: 0.0,
+        migration: EvacuationPacing {
+            max_concurrent: 1,
+            state_size: DataSize::megabytes(8.0),
+            bottleneck: DataRate::mbps(10.0),
+        },
+        ..FleetConfig::default()
+    };
+    // Site 3 is phased 18 h ahead: its evening ramp sits inside the two
+    // simulated hours, so it hosts a real population when the fault hits.
+    let victim = 3;
+    let fault_at = 15;
+    let faults = vec![SiteFaultEvent {
+        window: fault_at,
+        fault: SiteFault::Partition {
+            site: victim,
+            windows: 1,
+        },
+    }];
+    let mut fleet = FleetSim::with_site_faults(cfg, faults);
+    assert_eq!(cfg.window, SimDuration::from_secs(120));
+
+    let mut hosted_before = 0usize;
+    let mut in_flight_at_heal = 0usize;
+    let mut drained_after_heal = false;
+    let mut victim_rehosts = false;
+    while fleet.step_window() {
+        fleet
+            .verify_session_accounting()
+            .unwrap_or_else(|e| panic!("window {}: {e}", fleet.windows_done() - 1));
+        let w = fleet.windows_done() - 1;
+        if w + 1 == fault_at {
+            hosted_before = fleet.shard(victim).orchestrator().active_workloads();
+        }
+        if w == fault_at {
+            assert!(fleet.is_unreachable(victim), "partition must be active");
+            assert_eq!(
+                fleet.report().stranded as usize,
+                hosted_before,
+                "displacement must strand exactly the hosted population"
+            );
+        }
+        if w == fault_at + 1 {
+            assert!(!fleet.is_unreachable(victim), "one-window partition heals");
+            in_flight_at_heal = fleet.in_flight_sessions();
+        }
+        if w > fault_at + 1 {
+            drained_after_heal |= fleet.in_flight_sessions() == 0;
+            victim_rehosts |= fleet.shard(victim).orchestrator().active_workloads() > 0;
+        }
+    }
+
+    assert!(hosted_before > 0, "the victim must have hosted sessions");
+    assert!(
+        in_flight_at_heal > 0,
+        "the race must occur: checkpoints still in flight when the heal lands"
+    );
+
+    let r = fleet.report();
+    assert_eq!(r.partitions, 1);
+    // No double-migration: every displaced session resolves exactly once.
+    assert_eq!(
+        r.migrated + r.migration_cancelled + r.in_flight,
+        r.stranded,
+        "stranded sessions must partition into migrated/cancelled/in-flight"
+    );
+    assert_eq!(r.stranded as usize, hosted_before);
+    // No orphan leak: every instance stranded at the victim was reaped
+    // exactly once at the heal.
+    assert_eq!(
+        r.zombies_reaped, r.stranded,
+        "one reap per stranded instance"
+    );
+    assert_eq!(fleet.orphaned_instances(), 0, "no orphan survives the run");
+    assert_eq!(fleet.pending_heals(), 0, "no heal left behind");
+    // The drain completes and the healed site serves again.
+    assert!(drained_after_heal, "the paced queue must drain to zero");
+    assert_eq!(r.in_flight, 0, "nothing still mid-transfer at end of run");
+    assert!(victim_rehosts, "the healed site must host sessions again");
+}
