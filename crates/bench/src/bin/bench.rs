@@ -1,151 +1,51 @@
-//! Perf-harness entry point.
+//! Unified bench entry point, built on [`socc_bench::runner`].
 //!
-//! `bench --perf` runs the deterministic network-churn microbenchmark
-//! twice — incremental allocator vs forced full recomputation — under a
-//! counting global allocator, and writes the comparison as
-//! `BENCH_net.json`:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --perf \
-//!     --flows 2000 --events 1000 --out BENCH_net.json
-//! ```
-//!
-//! `bench --serve` does the same for the DL-serving hot path: the
-//! fig. 11/12 load grid plus per-combo SLO-rate searches, run once on the
-//! analytic M/D/1 fast path and once on the pure event simulation, written
-//! as `BENCH_serve.json`:
+//! Every experiment — perf, serve, chaos, trace, netval, fleet,
+//! fleetchaos, video — is declared in the registry (name, config grid,
+//! seed rule, execute fn, gates), so this binary is just the driver:
 //!
 //! ```text
-//! cargo run --release -p socc-bench --bin bench -- --serve \
-//!     --points 40 --out BENCH_serve.json
+//! bench --list                         # registered experiments
+//! bench --run perf --check             # one experiment + its gates vs its committed baseline
+//! bench --run all --smoke --check      # the whole CI smoke sweep in one invocation
+//! bench --run netval --cases 64        # scale overrides reuse the legacy flag names
 //! ```
 //!
-//! `bench --chaos` runs seeded chaos campaigns over the fault-tolerant
-//! orchestration loop — correlated failure-domain schedules paired with
-//! independent twins at equal per-SoC death AFR — checking the ledger,
-//! placement-index, and no-lost-critical invariants after every step, and
-//! writes `BENCH_chaos.json`. `--step K` replays one campaign pair and
-//! prints its byte-identical outcome:
+//! Results land as JSONL rows (shared envelope: `schema`, `experiment`,
+//! `config_hash`, `seed`, `wall_ms`, `config`, `artifact`) in the cache
+//! directory (default `.bench-cache/`, override with `--cache-dir`).
+//! Re-running a sweep executes only configurations whose FNV config hash
+//! is not already cached — so an interrupted sweep resumes instead of
+//! restarting, and a repeat invocation executes nothing (`--assert-cached`
+//! turns that into a hard check; `--force` drops the cache first). Each
+//! experiment's artifact document is still printed and written
+//! (`--out FILE` for a single experiment, `--out-suffix .ci.json` to
+//! derive one file per experiment from its committed baseline name).
 //!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --chaos \
-//!     --campaigns 256 --seed 42 --out BENCH_chaos.json
-//! cargo run --release -p socc-bench --bin bench -- --chaos --seed 42 --step 17
-//! ```
+//! Gate semantics: *absolute* gates (the experiment's own contract —
+//! zero hot-path allocations, speedup floors, invariant violations) run
+//! on every artifact, cached or fresh. *Baseline-relative* gates run
+//! under `--check`, against the experiment's committed `BENCH_*.json`
+//! (or an explicit `--check PATH` when a single experiment runs).
 //!
-//! `bench --trace` measures what structured spans cost: a recording
-//! microbenchmark under the counting allocator (both the enabled and the
-//! disabled path must be allocation-free) plus the fault-loop end-to-end
-//! scenario run spans-on vs spans-off, written as `BENCH_trace.json`.
-//! `--chrome FILE` additionally exports the spans-on event log in Chrome
-//! `trace_event` format for `about:tracing` / Perfetto:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --trace \
-//!     --out BENCH_trace.json --chrome trace.json
-//! ```
-//!
-//! `bench --netval` cross-validates the packet-level fabric engine
-//! against the max-min flow model: a sweep of randomized
-//! topology × flow-set × churn scenarios run through both engines (each
-//! survivor's packet-measured goodput must match the flow model's
-//! prediction within the agreement tolerance), plus the goodput
-//! calibration (the packet-derived factor must reproduce the paper's
-//! ~903 Mbps anchor) and the incast pacing experiment (the unpaced
-//! N-to-1 burst must drop; the paced storm must not, at bounded
-//! completion inflation). Written as `BENCH_netval.json`:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --netval \
-//!     --cases 200 --seed 42 --out BENCH_netval.json
-//! ```
-//!
-//! `bench --fleet` runs the 256-site fleet-day: every site replays its
-//! phase-shifted Fig. 5 gaming trace under the sharded fleet simulator,
-//! once per worker-thread count (1, 2, 8) on the work-stealing pool. The
-//! result digest must be bit-identical across worker counts, and the
-//! artifact records wall-clock and critical-path-modeled speedups plus
-//! the barrier loop's allocation discipline, written as
-//! `BENCH_fleet.json`:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --fleet \
-//!     --sites 256 --hours 24 --window 120 --out BENCH_fleet.json
-//! ```
-//!
-//! `bench --fleetchaos` runs seeded fleet-level chaos campaigns over the
-//! sharded fleet simulator: correlated site-tier schedules (a regional
-//! WAN partition storm plus a concurrent full-site blackout and a rail
-//! brownout) paired with independent twins at equal fault volume, with
-//! live inter-site migration re-placing every displaced session. Session
-//! accounting, dark-site power floors, per-site energy conservation and
-//! digest determinism across worker counts are checked on every run, and
-//! the result is written as `BENCH_fleetchaos.json`. `--step K` replays
-//! one campaign pair and prints its byte-identical outcome:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --fleetchaos \
-//!     --campaigns 64 --seed 42 --out BENCH_fleetchaos.json
-//! cargo run --release -p socc-bench --bin bench -- --fleetchaos --seed 42 --step 17
-//! ```
-//!
-//! `bench --video` runs the production-scale live-transcoding farm day —
-//! thousands of diurnal sessions with ABR churn and a board-down fault at
-//! the 21:00 peak — once on the analytic steady-state fast path and once
-//! as tick-level simulation over the identical schedule, cross-checks the
-//! two (bit-identical placements, float-tolerance integrals), and writes
-//! `BENCH_video.json` with per-session energy from the component ledger:
-//!
-//! ```text
-//! cargo run --release -p socc-bench --bin bench -- --video \
-//!     --hours 24 --peak 500 --out BENCH_video.json
-//! ```
-//!
-//! `--check BASELINE.json` additionally compares against a committed
-//! baseline and exits non-zero on regression: for `--perf`, if events/sec
-//! dropped by more than 30%, the incremental path stopped being ≥5×
-//! cheaper in waterfilling work, or the hot path allocated during the
-//! measured phase; for `--serve`, if analytic points/sec dropped by more
-//! than 30%, the analytic path stopped being ≥5× faster than simulation,
-//! the analytic measured phase allocated, or the analytic-vs-simulation
-//! p99 drift left its documented tolerance; for `--chaos`, if any
-//! invariant was violated, correlated availability stopped sitting below
-//! independent, or a per-class MTTR p50 regressed by more than 30%; for
-//! `--trace`, if the spans-on overhead exceeds 10%, either recording path
-//! allocated, or the captured event count/digest drifted from the
-//! baseline; for `--netval`, if the calibrated goodput factor moved from
-//! the baseline's or the worst agreement error grew by more than 2
-//! points; for `--fleet`, if the digest drifted from a same-config
-//! baseline or single-thread windows/sec dropped by more than 30%
-//! (digest mismatch across worker counts, a modeled 8-worker speedup
-//! below 4×, and a leaky coordination loop fail even without a
-//! baseline); for `--fleetchaos`, if any invariant was violated, a
-//! digest differed across worker counts, correlated availability stopped
-//! sitting below independent, the live-migration rate fell under 90%, or
-//! the sweep digest drifted from a same-config baseline; for `--video`,
-//! if the analytic fast path stopped being ≥5×
-//! faster than simulation, a quiet span allocated, the two modes
-//! disagreed, the full-day fault struck fewer than 1000 live sessions, or
-//! the farm digest / per-session energy drifted from a same-config
-//! baseline.
+//! The legacy single-mode flags (`--perf`, `--serve`, `--chaos`,
+//! `--trace`, `--netval`, `--fleet`, `--fleetchaos`, `--video`) remain
+//! as aliases for `--run <name>`, so committed repro lines keep working.
+//! Two mode-specific escapes stay outside the cache: `--step K` replays
+//! one chaos/fleetchaos campaign pair as deterministic text, and
+//! `--chrome FILE` exports the trace scenario's span log in Chrome
+//! `trace_event` format.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use socc_bench::chaos::{replay, report_json, run_chaos, ChaosOptions};
-use socc_bench::fleet::{
-    run_fleet_bench, FleetBenchOptions, MAX_COORD_ALLOCS_PER_WINDOW, MIN_SPEEDUP_8W,
+use socc_bench::chaos::ChaosOptions;
+use socc_bench::fleetchaos::FleetChaosOptions;
+use socc_bench::runner::{
+    read_baseline, resolve, run_experiment, Cache, GridScale, DEFAULT_CACHE_DIR,
 };
-use socc_bench::fleetchaos::{run_fleet_chaos, FleetChaosOptions, MIN_LIVE_MIGRATION_RATE};
-use socc_bench::harness::extract_num as extract;
-use socc_bench::netvalidate::{
-    run_netval, NetvalOptions, AGREEMENT_TOLERANCE, CALIBRATION_TOLERANCE, MAX_PACING_INFLATION,
-};
-use socc_bench::perf::{churn, comparison_json, PerfOptions};
-use socc_bench::serve::{serving, ServeOptions, P99_DRIFT_TOLERANCE};
-use socc_bench::tracebench::{trace_overhead, TraceOptions, MAX_OVERHEAD_PCT};
-use socc_bench::video::{run_video, VideoOptions, MIN_LIVE_AT_FAULT, MIN_SPEEDUP};
+use socc_bench::tracebench::TraceOptions;
 
 /// Counts every heap allocation; the perf harness samples it around the
 /// measured phase to prove the hot path is allocation-free.
@@ -179,112 +79,81 @@ fn alloc_count() -> u64 {
 }
 
 struct Args {
-    perf: bool,
-    serve: bool,
-    chaos: bool,
-    trace: bool,
-    netval: bool,
-    fleet: bool,
-    fleetchaos: bool,
-    video: bool,
-    sites: usize,
-    socs: usize,
-    peak: f64,
-    hours: u64,
-    window: u64,
-    cases: usize,
-    flows: usize,
-    events: usize,
-    points: usize,
-    campaigns: usize,
-    reps: usize,
-    step: Option<usize>,
-    seed: u64,
+    run: Vec<String>,
+    list: bool,
+    smoke: bool,
+    force: bool,
+    assert_cached: bool,
+    cache_dir: String,
     out: Option<String>,
-    check: Option<String>,
+    out_suffix: Option<String>,
+    /// `None` = no check; `Some(None)` = each experiment's declared
+    /// baseline; `Some(Some(path))` = explicit baseline (single
+    /// experiment only).
+    check: Option<Option<String>>,
     chrome: Option<String>,
+    step: Option<usize>,
+    scale: GridScale,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        perf: false,
-        serve: false,
-        chaos: false,
-        trace: false,
-        netval: false,
-        fleet: false,
-        fleetchaos: false,
-        video: false,
-        sites: 256,
-        socs: socc_hw::calib::CLUSTER_SOC_COUNT,
-        peak: 500.0,
-        hours: 24,
-        window: 120,
-        cases: 200,
-        flows: 2000,
-        events: 1000,
-        points: 40,
-        campaigns: 256,
-        reps: 9,
-        step: None,
-        seed: 42,
+        run: Vec::new(),
+        list: false,
+        smoke: false,
+        force: false,
+        assert_cached: false,
+        cache_dir: DEFAULT_CACHE_DIR.to_string(),
         out: None,
+        out_suffix: None,
         check: None,
         chrome: None,
+        step: None,
+        scale: GridScale::full(42),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
-            "--perf" => args.perf = true,
-            "--serve" => args.serve = true,
-            "--chaos" => args.chaos = true,
-            "--trace" => args.trace = true,
-            "--netval" => args.netval = true,
-            "--fleet" => args.fleet = true,
-            "--fleetchaos" => args.fleetchaos = true,
-            "--video" => args.video = true,
-            "--socs" => {
-                args.socs = value("--socs")?
-                    .parse()
-                    .map_err(|e| format!("--socs: {e}"))?
+            "--run" => {
+                for name in value("--run")?.split(',') {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        args.run.push(name.to_string());
+                    }
+                }
             }
-            "--peak" => {
-                args.peak = value("--peak")?
-                    .parse()
-                    .map_err(|e| format!("--peak: {e}"))?
+            // Legacy single-mode flags, kept as aliases so committed
+            // repro lines stay valid.
+            "--perf" => args.run.push("perf".to_string()),
+            "--serve" => args.run.push("serve".to_string()),
+            "--chaos" => args.run.push("chaos".to_string()),
+            "--trace" => args.run.push("trace".to_string()),
+            "--netval" => args.run.push("netval".to_string()),
+            "--fleet" => args.run.push("fleet".to_string()),
+            "--fleetchaos" => args.run.push("fleetchaos".to_string()),
+            "--video" => args.run.push("video".to_string()),
+            "--list" => args.list = true,
+            "--smoke" => {
+                args.smoke = true;
+                args.scale.smoke = true;
             }
-            "--sites" => {
-                args.sites = value("--sites")?
-                    .parse()
-                    .map_err(|e| format!("--sites: {e}"))?
-            }
-            "--hours" => {
-                args.hours = value("--hours")?
-                    .parse()
-                    .map_err(|e| format!("--hours: {e}"))?
-            }
-            "--window" => {
-                args.window = value("--window")?
-                    .parse()
-                    .map_err(|e| format!("--window: {e}"))?
-            }
-            "--cases" => {
-                args.cases = value("--cases")?
-                    .parse()
-                    .map_err(|e| format!("--cases: {e}"))?
-            }
-            "--reps" => {
-                args.reps = value("--reps")?
-                    .parse()
-                    .map_err(|e| format!("--reps: {e}"))?
+            "--force" => args.force = true,
+            "--assert-cached" => args.assert_cached = true,
+            "--cache-dir" => args.cache_dir = value("--cache-dir")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--out-suffix" => args.out_suffix = Some(value("--out-suffix")?),
+            "--check" => {
+                // Optional value: `--check BASELINE.json` pins an explicit
+                // baseline; bare `--check` uses each experiment's declared
+                // one.
+                let explicit = match it.peek() {
+                    Some(next) if !next.starts_with("--") => Some(it.next().unwrap()),
+                    _ => None,
+                };
+                args.check = Some(explicit);
             }
             "--chrome" => args.chrome = Some(value("--chrome")?),
-            "--campaigns" => {
-                args.campaigns = value("--campaigns")?
-                    .parse()
-                    .map_err(|e| format!("--campaigns: {e}"))?
-            }
             "--step" => {
                 args.step = Some(
                     value("--step")?
@@ -292,706 +161,198 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--step: {e}"))?,
                 )
             }
-            "--points" => {
-                args.points = value("--points")?
-                    .parse()
-                    .map_err(|e| format!("--points: {e}"))?
-            }
-            "--flows" => {
-                args.flows = value("--flows")?
-                    .parse()
-                    .map_err(|e| format!("--flows: {e}"))?
-            }
-            "--events" => {
-                args.events = value("--events")?
-                    .parse()
-                    .map_err(|e| format!("--events: {e}"))?
-            }
             "--seed" => {
-                args.seed = value("--seed")?
+                args.scale.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
-            "--out" => args.out = Some(value("--out")?),
-            "--check" => args.check = Some(value("--check")?),
+            "--flows" => args.scale.flows = Some(parse_num(&arg, value(&arg)?)?),
+            "--events" => args.scale.events = Some(parse_num(&arg, value(&arg)?)?),
+            "--points" => args.scale.points = Some(parse_num(&arg, value(&arg)?)?),
+            "--cases" => args.scale.cases = Some(parse_num(&arg, value(&arg)?)?),
+            "--campaigns" => args.scale.campaigns = Some(parse_num(&arg, value(&arg)?)?),
+            "--sites" => args.scale.sites = Some(parse_num(&arg, value(&arg)?)?),
+            "--socs" => args.scale.socs = Some(parse_num(&arg, value(&arg)?)?),
+            "--reps" => args.scale.reps = Some(parse_num(&arg, value(&arg)?)?),
+            "--hours" => {
+                args.scale.hours = Some(
+                    value("--hours")?
+                        .parse()
+                        .map_err(|e| format!("--hours: {e}"))?,
+                )
+            }
+            "--window" => {
+                args.scale.window = Some(
+                    value("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
+            "--peak" => {
+                args.scale.peak = Some(
+                    value("--peak")?
+                        .parse()
+                        .map_err(|e| format!("--peak: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    args.run.dedup();
     Ok(args)
 }
 
-fn run_perf(args: &Args) -> Result<(), String> {
-    let incremental = churn(
-        &PerfOptions {
-            flows: args.flows,
-            churn_events: args.events,
-            seed: args.seed,
-            force_full: false,
-        },
-        &alloc_count,
-    );
-    let full = churn(
-        &PerfOptions {
-            flows: args.flows,
-            churn_events: args.events,
-            seed: args.seed,
-            force_full: true,
-        },
-        &alloc_count,
-    );
-    let doc = comparison_json(&incremental, &full);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let base_eps = extract(&baseline, "incremental", "events_per_sec")
-            .ok_or("baseline missing incremental events_per_sec")?;
-        let ratio = extract(&doc, "net_churn", "waterfill_touch_ratio")
-            .ok_or("run missing waterfill_touch_ratio")?;
-
-        let mut failures = Vec::new();
-        if incremental.events_per_sec < 0.7 * base_eps {
-            failures.push(format!(
-                "events/sec regressed >30%: {:.0} vs baseline {:.0}",
-                incremental.events_per_sec, base_eps
-            ));
-        }
-        if ratio < 5.0 {
-            failures.push(format!(
-                "incremental waterfilling no longer ≥5× cheaper (ratio {ratio:.2})"
-            ));
-        }
-        if incremental.steady_state_allocs != 0 {
-            failures.push(format!(
-                "hot path allocated {} times during the measured phase",
-                incremental.steady_state_allocs
-            ));
-        }
-        if incremental.final_drift_bps > 1.0 {
-            failures.push(format!(
-                "incremental allocation drifted {} bps from the reference",
-                incremental.final_drift_bps
-            ));
-        }
-        if !failures.is_empty() {
-            return Err(failures.join("; "));
-        }
-        eprintln!(
-            "perf check ok: {:.0} events/sec (baseline {:.0}), {ratio:.1}x waterfill ratio, 0 hot-path allocs",
-            incremental.events_per_sec, base_eps
-        );
-    }
-    Ok(())
+fn parse_num(flag: &str, raw: String) -> Result<usize, String> {
+    raw.parse().map_err(|e| format!("{flag}: {e}"))
 }
 
-fn run_serve(args: &Args) -> Result<(), String> {
-    let mut opts = ServeOptions {
-        points_per_engine: args.points,
-        seed: args.seed,
-        analytic: true,
-        ..ServeOptions::default()
-    };
-    let analytic = serving(&opts, &alloc_count);
-    opts.analytic = false;
-    let simulation = serving(&opts, &alloc_count);
-    let doc = socc_bench::serve::comparison_json(&analytic, &simulation);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let base_pps = extract(&baseline, "analytic", "points_per_sec")
-            .ok_or("baseline missing analytic points_per_sec")?;
-        let speedup = extract(&doc, "dl_serving", "speedup").ok_or("run missing speedup")?;
-        let drift_max =
-            extract(&doc, "dl_serving", "p99_drift_max").ok_or("run missing p99_drift_max")?;
-
-        let mut failures = Vec::new();
-        if analytic.points_per_sec < 0.7 * base_pps {
-            failures.push(format!(
-                "analytic points/sec regressed >30%: {:.0} vs baseline {:.0}",
-                analytic.points_per_sec, base_pps
-            ));
-        }
-        if speedup < 5.0 {
-            failures.push(format!(
-                "analytic path no longer ≥5× faster than simulation (speedup {speedup:.2})"
-            ));
-        }
-        if analytic.steady_state_allocs != 0 {
-            failures.push(format!(
-                "analytic hot path allocated {} times during the measured phase",
-                analytic.steady_state_allocs
-            ));
-        }
-        if drift_max > P99_DRIFT_TOLERANCE {
-            failures.push(format!(
-                "analytic-vs-simulation p99 drift {drift_max:.3} exceeds {P99_DRIFT_TOLERANCE}"
-            ));
-        }
-        if !failures.is_empty() {
-            return Err(failures.join("; "));
-        }
-        eprintln!(
-            "serve check ok: {:.0} points/sec (baseline {:.0}), {speedup:.1}x over simulation, p99 drift {drift_max:.3}, 0 hot-path allocs",
-            analytic.points_per_sec, base_pps
-        );
-    }
-    Ok(())
-}
-
-/// MTTR classes the `--check` gate watches (must match the report).
-const CHAOS_MTTR_CLASSES: [&str; 4] = ["crash", "hang", "thermal_trip", "link_loss"];
-
-fn run_chaos_cmd(args: &Args) -> Result<(), String> {
-    let opts = ChaosOptions {
-        campaigns: args.campaigns,
-        seed: args.seed,
-        ..ChaosOptions::default()
-    };
-    if let Some(k) = args.step {
-        // One-campaign repro: deterministic text, no wall-clock, no JSON.
-        print!("{}", replay(&opts, k));
-        return Ok(());
-    }
-    let report = run_chaos(&opts);
-    let doc = report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    let mut failures = Vec::new();
-    for v in &report.violations {
-        failures.push(format!(
-            "invariant violation in campaign {}: {} ({})",
-            v.campaign, v.detail, v.repro
-        ));
-    }
-    if report.correlated_mean >= report.independent_mean {
-        failures.push(format!(
-            "correlated availability {:.4} not below independent {:.4} — the domain model lost its teeth",
-            report.correlated_mean, report.independent_mean
-        ));
-    }
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        for class in CHAOS_MTTR_CLASSES {
-            let (Some(base_p50), Some(run_p50)) = (
-                extract(&baseline, class, "p50_ms"),
-                extract(&doc, class, "p50_ms"),
-            ) else {
-                continue;
+/// `--step K` replay: one campaign pair as deterministic text, outside
+/// the cache (no wall-clock, no JSON — it is a repro tool, not a
+/// result).
+fn run_step(args: &Args, k: usize) -> Result<(), String> {
+    match args.run.as_slice() {
+        [name] if name == "chaos" => {
+            let opts = ChaosOptions {
+                campaigns: args.scale.campaigns.unwrap_or(256),
+                seed: args.scale.seed,
+                ..ChaosOptions::default()
             };
-            if base_p50 > 0.0 && run_p50 > 1.3 * base_p50 {
-                failures.push(format!(
-                    "{class} MTTR p50 regressed >30%: {run_p50:.1} ms vs baseline {base_p50:.1} ms"
-                ));
+            print!("{}", socc_bench::chaos::replay(&opts, k));
+            Ok(())
+        }
+        [name] if name == "fleetchaos" => {
+            let opts = FleetChaosOptions {
+                campaigns: args.scale.campaigns.unwrap_or(64),
+                seed: args.scale.seed,
+                ..FleetChaosOptions::default()
+            };
+            print!("{}", socc_bench::fleetchaos::replay(&opts, k));
+            Ok(())
+        }
+        _ => Err("--step needs exactly one of --chaos / --fleetchaos".to_string()),
+    }
+}
+
+fn usage() -> String {
+    let mut u = String::from(
+        "usage: bench --run <names|all> [--smoke] [--check [BASELINE]] [--out FILE | --out-suffix SUF]\n\
+         \x20             [--cache-dir DIR] [--force] [--assert-cached] [--seed N] [scale overrides]\n\
+         \x20      bench --list\n\
+         \x20      bench --chaos --seed N --step K        (campaign replay; also --fleetchaos)\n\
+         \x20      bench --trace --chrome FILE            (Chrome trace_event export)\n\
+         scale overrides: --flows --events --points --cases --campaigns --sites --socs\n\
+         \x20                --hours --window --peak --reps\n\
+         experiments:\n",
+    );
+    for exp in socc_bench::runner::registry() {
+        u.push_str(&format!(
+            "  {:<10} {} [{}]\n",
+            exp.name, exp.about, exp.artifact
+        ));
+    }
+    u
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if let Some(k) = args.step {
+        return run_step(args, k);
+    }
+    let exps = resolve(&args.run)?;
+    if args.out.is_some() && exps.len() != 1 {
+        return Err("--out needs exactly one experiment; use --out-suffix for sweeps".to_string());
+    }
+    if let Some(Some(_)) = &args.check {
+        if exps.len() != 1 {
+            return Err(
+                "an explicit --check baseline needs exactly one experiment; \
+                 bare --check uses each experiment's declared baseline"
+                    .to_string(),
+            );
+        }
+    }
+    let cache = Cache::new(&args.cache_dir);
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_executed = 0usize;
+    let mut total_cached = 0usize;
+    for exp in &exps {
+        if args.force {
+            cache.invalidate(exp.name)?;
+        }
+        let outcome = run_experiment(exp, &args.scale, &cache, &alloc_count)?;
+        total_executed += outcome.executed;
+        total_cached += outcome.cached;
+        let out_path = args.out.clone().or_else(|| {
+            args.out_suffix.as_ref().map(|suffix| {
+                let stem = exp.artifact.strip_suffix(".json").unwrap_or(exp.artifact);
+                format!("{stem}{suffix}")
+            })
+        });
+        let baseline = match &args.check {
+            None => None,
+            Some(explicit) => Some(read_baseline(explicit.as_deref().unwrap_or(exp.artifact))?),
+        };
+        for row in &outcome.rows {
+            print!("{}", row.artifact);
+            for failure in (exp.gates)(&row.artifact) {
+                failures.push(format!("{} [{}]: {failure}", exp.name, row.config_hash));
+            }
+            if let Some(baseline) = &baseline {
+                for failure in (exp.baseline_gates)(&row.artifact, baseline) {
+                    failures.push(format!("{} [{}]: {failure}", exp.name, row.config_hash));
+                }
             }
         }
+        if let Some(path) = out_path {
+            // Single-config grids (all eight today): the artifact file is
+            // the one row's document, byte-for-byte.
+            let doc = &outcome
+                .rows
+                .first()
+                .ok_or_else(|| format!("{}: empty grid", exp.name))?
+                .artifact;
+            std::fs::write(&path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        eprintln!(
+            "bench: {}: {} executed, {} cached ({} config{}){}",
+            exp.name,
+            outcome.executed,
+            outcome.cached,
+            outcome.rows.len(),
+            if outcome.rows.len() == 1 { "" } else { "s" },
+            if args.check.is_some() {
+                ", gates + baseline checked"
+            } else {
+                ", gates checked"
+            },
+        );
     }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    eprintln!(
-        "chaos check ok: {} campaigns, 0 violations, availability gap {:.4} (corr {:.4} < indep {:.4})",
-        report.options.campaigns,
-        report.independent_mean - report.correlated_mean,
-        report.correlated_mean,
-        report.independent_mean
-    );
-    Ok(())
-}
-
-fn run_trace(args: &Args) -> Result<(), String> {
-    let opts = TraceOptions {
-        reps: args.reps,
-        seed: args.seed,
-        ..TraceOptions::default()
-    };
-    let report = trace_overhead(&opts, &alloc_count);
-    let doc = socc_bench::tracebench::report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
+    if args.chrome.is_some() && !exps.iter().any(|e| e.name == "trace") {
+        return Err("--chrome needs the trace experiment in --run".to_string());
     }
     if let Some(path) = &args.chrome {
+        let opts = TraceOptions {
+            reps: args.scale.reps.unwrap_or(TraceOptions::default().reps),
+            seed: socc_bench::harness::mix_seed(args.scale.seed, 0),
+            ..TraceOptions::default()
+        };
         let trace = socc_bench::tracebench::chrome_trace(&opts);
         std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-
-    // Absolute gates — no baseline needed: spans must stay within the
-    // documented overhead budget and both recording paths must be
-    // allocation-free (the ring is sized at construction).
-    let mut failures = Vec::new();
-    if report.overhead_pct > MAX_OVERHEAD_PCT {
+    eprintln!(
+        "bench: total {total_executed} executed, {total_cached} cached across {} experiment{}",
+        exps.len(),
+        if exps.len() == 1 { "" } else { "s" },
+    );
+    if args.assert_cached && total_executed != 0 {
         failures.push(format!(
-            "spans-on engine overhead {:.2}% exceeds {MAX_OVERHEAD_PCT}% budget",
-            report.overhead_pct
+            "--assert-cached: {total_executed} configs executed (expected every config cached)"
         ));
-    }
-    if report.allocs_enabled != 0 {
-        failures.push(format!(
-            "enabled recording path allocated {} times",
-            report.allocs_enabled
-        ));
-    }
-    if report.allocs_disabled != 0 {
-        failures.push(format!(
-            "disabled recording path allocated {} times",
-            report.allocs_disabled
-        ));
-    }
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let base_events = extract(&baseline, "engine_overhead", "events_captured")
-            .ok_or("baseline missing events_captured")?;
-        if report.events_captured as f64 != base_events {
-            failures.push(format!(
-                "events captured changed: {} vs baseline {base_events:.0} — \
-                 instrumentation drifted; refresh BENCH_trace.json deliberately",
-                report.events_captured
-            ));
-        }
-        if !baseline.contains(&format!("\"digest\": \"{}\"", report.digest_hex)) {
-            failures.push(format!(
-                "event-log digest {} differs from baseline — \
-                 recorded content drifted; refresh BENCH_trace.json deliberately",
-                report.digest_hex
-            ));
-        }
     }
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }
-    eprintln!(
-        "trace check ok: {:.2}% engine overhead (budget {MAX_OVERHEAD_PCT}%), {:.1} ns/event enabled, {:.1} ns/event disabled, 0 allocs both paths, {} events, digest {}",
-        report.overhead_pct,
-        report.ns_per_event_enabled,
-        report.ns_per_event_disabled,
-        report.events_captured,
-        report.digest_hex
-    );
-    Ok(())
-}
-
-fn run_netval_cmd(args: &Args) -> Result<(), String> {
-    let opts = NetvalOptions {
-        cases: args.cases,
-        seed: args.seed,
-        ..NetvalOptions::default()
-    };
-    let report = run_netval(&opts);
-    let doc = socc_bench::netvalidate::report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    // Absolute gates — the cross-validation contract itself, independent
-    // of any baseline.
-    let mut failures = Vec::new();
-    for f in &report.failures {
-        failures.push(format!(
-            "case {} (seed {}) disagreed: {}; minimal: {:?}; repro: {}",
-            f.case, f.seed, f.detail, f.minimal, f.repro
-        ));
-    }
-    if report.max_rel_err > AGREEMENT_TOLERANCE {
-        failures.push(format!(
-            "worst packet-vs-flow goodput error {:.3} exceeds ±{AGREEMENT_TOLERANCE}",
-            report.max_rel_err
-        ));
-    }
-    if report.calibration_rel_err > CALIBRATION_TOLERANCE {
-        failures.push(format!(
-            "calibrated goodput {:.1} Mbps misses the {:.0} Mbps anchor by {:.3} (> {CALIBRATION_TOLERANCE})",
-            report.calibration.goodput.as_mbps(),
-            socc_hw::calib::INTER_SOC_TCP_MBPS,
-            report.calibration_rel_err
-        ));
-    }
-    if report.incast_unpaced.drops == 0 {
-        failures.push("unpaced incast burst no longer overflows the port buffer".to_string());
-    }
-    if report.incast_paced.drops >= report.incast_unpaced.drops {
-        failures.push(format!(
-            "pacing no longer reduces incast drops ({} paced vs {} unpaced)",
-            report.incast_paced.drops, report.incast_unpaced.drops
-        ));
-    }
-    let inflation = report.incast_paced.completion_ms / report.incast_unpaced.completion_ms;
-    if inflation > MAX_PACING_INFLATION {
-        failures.push(format!(
-            "paced incast completion inflated {inflation:.2}x (> {MAX_PACING_INFLATION}x)"
-        ));
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let base_factor = extract(&baseline, "calibration", "factor")
-            .ok_or("baseline missing calibration factor")?;
-        if (report.calibration.factor - base_factor).abs() > 1e-6 {
-            failures.push(format!(
-                "calibrated goodput factor drifted: {:.6} vs baseline {base_factor:.6} — \
-                 the packet engine changed; refresh BENCH_netval.json deliberately",
-                report.calibration.factor
-            ));
-        }
-        let base_err = extract(&baseline, "agreement", "max_rel_err")
-            .ok_or("baseline missing agreement max_rel_err")?;
-        if report.max_rel_err > base_err + 0.02 {
-            failures.push(format!(
-                "worst agreement error grew: {:.3} vs baseline {base_err:.3} (+2pt budget)",
-                report.max_rel_err
-            ));
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    eprintln!(
-        "netval check ok: {} cases / {} flows agree (worst err {:.3}, mean {:.3}), \
-         calibration {:.1} Mbps (anchor err {:.3}), incast drops {} -> {} paced ({inflation:.2}x completion), {:.0} cases/sec",
-        report.options.cases,
-        report.flows_checked,
-        report.max_rel_err,
-        report.mean_rel_err,
-        report.calibration.goodput.as_mbps(),
-        report.calibration_rel_err,
-        report.incast_unpaced.drops,
-        report.incast_paced.drops,
-        report.cases_per_sec
-    );
-    Ok(())
-}
-
-fn run_fleet_cmd(args: &Args) -> Result<(), String> {
-    let opts = FleetBenchOptions {
-        sites: args.sites,
-        hours: args.hours,
-        window_secs: args.window,
-        seed: args.seed,
-    };
-    let report = run_fleet_bench(&opts, &alloc_count);
-    let doc = socc_bench::fleet::report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    // Absolute gates — the fleet simulator's own contract, independent of
-    // any baseline: determinism across thread counts, the ISSUE 7 speedup
-    // bar, and a coordination loop that reuses its buffers.
-    let mut failures = Vec::new();
-    if !report.digests_match() {
-        let digests: Vec<&str> = report.runs.iter().map(|r| r.digest_hex.as_str()).collect();
-        failures.push(format!(
-            "result digest differs across worker counts ({digests:?}) — \
-             conservative sync is leaking nondeterminism"
-        ));
-    }
-    let modeled_8w = report.modeled_speedup(8);
-    let wall_8w = report.wall_speedup(8);
-    if modeled_8w < MIN_SPEEDUP_8W {
-        failures.push(format!(
-            "modeled 8-worker speedup {modeled_8w:.2}x below the {MIN_SPEEDUP_8W}x bar"
-        ));
-    }
-    if report.host_cpus >= 8 && wall_8w < MIN_SPEEDUP_8W {
-        failures.push(format!(
-            "wall-clock 8-worker speedup {wall_8w:.2}x below the {MIN_SPEEDUP_8W}x bar \
-             on a {}-core host",
-            report.host_cpus
-        ));
-    }
-    if let Some(one) = report.run_at(1) {
-        if one.coord_allocs_per_window > MAX_COORD_ALLOCS_PER_WINDOW {
-            failures.push(format!(
-                "steady-state coordination allocated {:.1}/window (> {MAX_COORD_ALLOCS_PER_WINDOW}) — \
-                 the barrier loop lost its buffer reuse",
-                one.coord_allocs_per_window
-            ));
-        }
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        // The digest is only comparable when the baseline ran the same
-        // scenario.
-        let same_config = [
-            ("sites", opts.sites as f64),
-            ("hours", opts.hours as f64),
-            ("window_secs", opts.window_secs as f64),
-            ("seed", opts.seed as f64),
-        ]
-        .iter()
-        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
-        if same_config {
-            if !baseline.contains(&format!("\"digest\": \"{}\"", report.runs[0].digest_hex)) {
-                failures.push(format!(
-                    "fleet digest {} differs from baseline — simulated behaviour \
-                     drifted; refresh BENCH_fleet.json deliberately",
-                    report.runs[0].digest_hex
-                ));
-            }
-        } else {
-            eprintln!("fleet check: baseline config differs; skipping digest comparison");
-        }
-        if let (Some(base_wps), Some(one)) = (
-            extract(&baseline, "w1", "windows_per_sec"),
-            report.run_at(1),
-        ) {
-            if one.windows_per_sec < 0.7 * base_wps {
-                failures.push(format!(
-                    "single-thread windows/sec regressed >30%: {:.1} vs baseline {base_wps:.1}",
-                    one.windows_per_sec
-                ));
-            }
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    eprintln!(
-        "fleet check ok: {} sites x {} windows, digest {} identical at {:?} workers, \
-         speedup {wall_8w:.2}x wall / {modeled_8w:.2}x modeled on {} cpus, \
-         {:.1} coord allocs/window",
-        report.options.sites,
-        report.runs[0].windows,
-        report.runs[0].digest_hex,
-        socc_bench::fleet::WORKER_COUNTS,
-        report.host_cpus,
-        report.run_at(1).map_or(0.0, |r| r.coord_allocs_per_window),
-    );
-    Ok(())
-}
-
-fn run_fleetchaos_cmd(args: &Args) -> Result<(), String> {
-    let opts = FleetChaosOptions {
-        campaigns: args.campaigns,
-        seed: args.seed,
-        ..FleetChaosOptions::default()
-    };
-    if let Some(k) = args.step {
-        // One-campaign repro: deterministic text, no wall-clock, no JSON.
-        print!("{}", socc_bench::fleetchaos::replay(&opts, k));
-        return Ok(());
-    }
-    let report = run_fleet_chaos(&opts);
-    let doc = socc_bench::fleetchaos::report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    // Absolute gates — the campaign contract itself, independent of any
-    // baseline.
-    let mut failures = Vec::new();
-    for v in &report.violations {
-        failures.push(format!(
-            "invariant violation in campaign {}: {} (minimal schedule {} events; {})",
-            v.campaign, v.detail, v.minimal_events, v.repro
-        ));
-    }
-    if let Some(p) = report.outcomes.iter().find(|p| !p.digests_match()) {
-        failures.push(format!(
-            "campaign {} digest differs across worker counts: {:?}",
-            p.index, p.worker_digests
-        ));
-    }
-    if report.correlated_mean >= report.independent_mean {
-        failures.push(format!(
-            "correlated availability {:.4} not below independent {:.4} — \
-             the site-tier domain model lost its teeth",
-            report.correlated_mean, report.independent_mean
-        ));
-    }
-    let rate = report.live_migration_rate();
-    if rate < MIN_LIVE_MIGRATION_RATE {
-        failures.push(format!(
-            "only {:.1}% of displaced sessions live-migrated (< {:.0}%)",
-            rate * 100.0,
-            MIN_LIVE_MIGRATION_RATE * 100.0
-        ));
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let same_config = [
-            ("campaigns", opts.campaigns as f64),
-            ("seed", opts.seed as f64),
-            ("sites", opts.sites as f64),
-            ("regions", opts.regions as f64),
-            ("hours", opts.hours as f64),
-            ("window_secs", opts.window_secs as f64),
-        ]
-        .iter()
-        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
-        if same_config {
-            if !baseline.contains(&format!("\"digest\": \"{}\"", report.digest_hex)) {
-                failures.push(format!(
-                    "fleet-chaos sweep digest {} differs from baseline — simulated \
-                     behaviour drifted; refresh BENCH_fleetchaos.json deliberately",
-                    report.digest_hex
-                ));
-            }
-        } else {
-            eprintln!("fleetchaos check: baseline config differs; skipping digest comparison");
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    eprintln!(
-        "fleetchaos check ok: {} campaign pairs, 0 violations, digest {} identical at \
-         {:?} workers, availability gap {:.4} (corr {:.4} < indep {:.4}), {:.1}% of {} \
-         displaced sessions live-migrated, {:.1} runs/sec",
-        report.options.campaigns,
-        report.digest_hex,
-        socc_bench::fleetchaos::WORKER_COUNTS,
-        report.independent_mean - report.correlated_mean,
-        report.correlated_mean,
-        report.independent_mean,
-        rate * 100.0,
-        report.stranded,
-        report.runs_per_sec
-    );
-    Ok(())
-}
-
-fn run_video_cmd(args: &Args) -> Result<(), String> {
-    let opts = VideoOptions {
-        socs: args.socs,
-        horizon_secs: args.hours * 3600,
-        peak_arrivals_per_hour: args.peak,
-        seed: args.seed,
-        reps: args.reps.min(5),
-    };
-    let report = run_video(&opts, &alloc_count);
-    let doc = socc_bench::video::report_json(&report);
-    print!("{doc}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-
-    // Absolute gates — the fast path's own contract, independent of any
-    // baseline: the speedup floor, an allocation-free analytic phase,
-    // two-mode agreement, and (on the full day) a board fault that lands
-    // amid four-digit live-session counts and migrates streams at
-    // GOP-checkpoint MTTRs.
-    let speedup = report.speedup();
-    let mut failures = Vec::new();
-    if speedup < MIN_SPEEDUP {
-        failures.push(format!(
-            "analytic fast path no longer ≥{MIN_SPEEDUP}× over simulation (speedup {speedup:.2})"
-        ));
-    }
-    if report.analytic.steady_allocs != 0 {
-        failures.push(format!(
-            "analytic quiet spans allocated {} times",
-            report.analytic.steady_allocs
-        ));
-    }
-    if !report.modes_agree() {
-        failures.push(format!(
-            "analytic and simulation modes disagree (digest/counters match: {}, \
-             integral err {:.3e}, energy err {:.3e})",
-            report.exact_fields_match(),
-            report.integral_rel_err(),
-            report.energy_rel_err()
-        ));
-    }
-    if report.analytic.migrations == 0 {
-        failures.push("board fault migrated no live sessions".to_string());
-    }
-    if opts.horizon_secs >= 86_400 && report.analytic.concurrent_at_fault < MIN_LIVE_AT_FAULT {
-        failures.push(format!(
-            "fault struck only {} live sessions (< {MIN_LIVE_AT_FAULT}) on the full day",
-            report.analytic.concurrent_at_fault
-        ));
-    }
-
-    if let Some(baseline_path) = &args.check {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let same_config = [
-            ("socs", opts.socs as f64),
-            ("horizon_secs", opts.horizon_secs as f64),
-            ("peak_arrivals_per_hour", opts.peak_arrivals_per_hour),
-            ("seed", opts.seed as f64),
-        ]
-        .iter()
-        .all(|&(key, v)| extract(&baseline, "config", key) == Some(v));
-        if same_config {
-            if !baseline.contains(&format!("\"digest\": \"{:016x}\"", report.analytic.digest)) {
-                failures.push(format!(
-                    "farm digest {:016x} differs from baseline — placement behaviour \
-                     drifted; refresh BENCH_video.json deliberately",
-                    report.analytic.digest
-                ));
-            }
-            if let Some(base_e) = extract(&baseline, "energy", "per_session_hour_j") {
-                let run_e = report.analytic.energy_per_session_hour_j();
-                if (run_e - base_e).abs() > 1e-3 + 1e-6 * base_e.abs() {
-                    failures.push(format!(
-                        "per-session energy drifted: {run_e:.3} J/session-hour vs baseline \
-                         {base_e:.3} — the power model changed; refresh BENCH_video.json \
-                         deliberately",
-                    ));
-                }
-            }
-        } else {
-            eprintln!("video check: baseline config differs; skipping digest comparison");
-        }
-        if same_config {
-            if let Some(base_ms) = extract(&baseline, "analytic", "elapsed_ms") {
-                if report.analytic_ms > 1.3 * base_ms {
-                    failures.push(format!(
-                        "analytic farm-day regressed >30%: {:.1} ms vs baseline {base_ms:.1} ms",
-                        report.analytic_ms
-                    ));
-                }
-            }
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
-    eprintln!(
-        "video check ok: {} sessions / {} events, {speedup:.1}x analytic over simulation \
-         ({:.1} ms vs {:.1} ms), 0 quiet-span allocs, {} live at fault, {} migrations at \
-         {:.1} ms mean MTTR, {:.1} J/session-hour",
-        report.sessions,
-        report.events,
-        report.analytic_ms,
-        report.simulation_ms,
-        report.analytic.concurrent_at_fault,
-        report.analytic.migrations,
-        report.analytic.mttr_mean_ms(),
-        report.analytic.energy_per_session_hour_j(),
-    );
     Ok(())
 }
 
@@ -1003,38 +364,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !args.perf
-        && !args.serve
-        && !args.chaos
-        && !args.trace
-        && !args.netval
-        && !args.fleet
-        && !args.fleetchaos
-        && !args.video
-    {
-        eprintln!(
-            "usage: bench --perf [--flows N] [--events N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --serve [--points N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --chaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --trace [--reps N] [--seed N] [--out FILE] [--chrome FILE] [--check BASELINE]\n       bench --netval [--cases N] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleet [--sites N] [--hours N] [--window SECS] [--seed N] [--out FILE] [--check BASELINE]\n       bench --fleetchaos [--campaigns N] [--seed N] [--step K] [--out FILE] [--check BASELINE]\n       bench --video [--socs N] [--hours N] [--peak RATE] [--reps N] [--seed N] [--out FILE] [--check BASELINE]"
-        );
+    if args.list {
+        eprint!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.run.is_empty() {
+        eprint!("{}", usage());
         return ExitCode::FAILURE;
     }
-    let run = if args.perf {
-        run_perf(&args)
-    } else if args.serve {
-        run_serve(&args)
-    } else if args.trace {
-        run_trace(&args)
-    } else if args.netval {
-        run_netval_cmd(&args)
-    } else if args.fleet {
-        run_fleet_cmd(&args)
-    } else if args.fleetchaos {
-        run_fleetchaos_cmd(&args)
-    } else if args.video {
-        run_video_cmd(&args)
-    } else {
-        run_chaos_cmd(&args)
-    };
-    match run {
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bench: FAIL: {e}");

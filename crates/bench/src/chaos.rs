@@ -728,6 +728,77 @@ pub fn report_json(r: &ChaosReport) -> String {
     j.finish()
 }
 
+/// MTTR classes the baseline gate watches (must match the report).
+pub const MTTR_GATE_CLASSES: [&str; 4] = ["crash", "hang", "thermal_trip", "link_loss"];
+
+/// Declares the enclosure chaos experiment for the unified runner
+/// (`bench --run chaos`): grid, execute, and the gates that used to
+/// live in the `bench` binary's `--chaos` branch. The smoke tier drops
+/// from 256 to 64 campaign pairs (the old CI scale).
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_num, ExpConfig, Experiment};
+    Experiment {
+        name: "chaos",
+        about: "correlated vs independent failure-domain campaigns on one enclosure",
+        artifact: "BENCH_chaos.json",
+        configs: |scale| {
+            let full = ChaosOptions::default();
+            let campaigns =
+                scale
+                    .campaigns
+                    .unwrap_or(if scale.smoke { 64 } else { full.campaigns });
+            vec![ExpConfig::new()
+                .u64("campaigns", campaigns as u64)
+                .u64("horizon_secs", full.horizon_secs)
+                .f64("availability_floor", full.availability_floor)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, _alloc_count| {
+            let report = run_chaos(&ChaosOptions {
+                campaigns: cfg.get_u64("campaigns") as usize,
+                seed: cfg.seed(),
+                horizon_secs: cfg.get_u64("horizon_secs"),
+                availability_floor: cfg.get_f64("availability_floor"),
+            });
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            for v in crate::harness::extract_list(doc, "violations") {
+                f.push(format!("invariant violation: {v}"));
+            }
+            let corr = gate_num(doc, "availability", "correlated_mean", &mut f);
+            let indep = gate_num(doc, "availability", "independent_mean", &mut f);
+            if let (Some(corr), Some(indep)) = (corr, indep) {
+                if corr >= indep {
+                    f.push(format!(
+                        "correlated availability {corr:.4} not below independent {indep:.4} — \
+                         the domain model lost its teeth"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            for class in MTTR_GATE_CLASSES {
+                let (Some(base_p50), Some(run_p50)) = (
+                    crate::harness::extract_num(baseline, class, "p50_ms"),
+                    crate::harness::extract_num(doc, class, "p50_ms"),
+                ) else {
+                    continue;
+                };
+                if base_p50 > 0.0 && run_p50 > 1.3 * base_p50 {
+                    f.push(format!(
+                        "{class} MTTR p50 regressed >30%: {run_p50:.1} ms vs baseline {base_p50:.1} ms"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

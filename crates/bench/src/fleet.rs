@@ -312,6 +312,101 @@ pub fn report_json(report: &FleetBenchReport) -> String {
     j.finish()
 }
 
+/// Declares the fleet-day experiment for the unified runner
+/// (`bench --run fleet`): grid, execute, and the gates that used to
+/// live in the `bench` binary's `--fleet` branch.
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_bool, gate_num, gate_str, same_config, ExpConfig, Experiment};
+    Experiment {
+        name: "fleet",
+        about: "sharded 256-site fleet-day under conservative window sync at 1/2/8 workers",
+        artifact: "BENCH_fleet.json",
+        configs: |scale| {
+            vec![ExpConfig::new()
+                .u64("sites", scale.sites.unwrap_or(256) as u64)
+                .u64("hours", scale.hours.unwrap_or(24))
+                .u64("window_secs", scale.window.unwrap_or(120))
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, alloc_count| {
+            let report = run_fleet_bench(
+                &FleetBenchOptions {
+                    sites: cfg.get_u64("sites") as usize,
+                    hours: cfg.get_u64("hours"),
+                    window_secs: cfg.get_u64("window_secs"),
+                    seed: cfg.seed(),
+                },
+                alloc_count,
+            );
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            if let Some(digests_match) = gate_bool(doc, "determinism", "digests_match", &mut f) {
+                if !digests_match {
+                    f.push(
+                        "result digest differs across worker counts — \
+                         conservative sync is leaking nondeterminism"
+                            .to_string(),
+                    );
+                }
+            }
+            let modeled_8w = gate_num(doc, "speedup", "modeled_8w", &mut f);
+            let wall_8w = gate_num(doc, "speedup", "wall_8w", &mut f);
+            let host_cpus = gate_num(doc, "speedup", "host_cpus", &mut f);
+            if let Some(modeled) = modeled_8w {
+                if modeled < MIN_SPEEDUP_8W {
+                    f.push(format!(
+                        "modeled 8-worker speedup {modeled:.2}x below the {MIN_SPEEDUP_8W}x bar"
+                    ));
+                }
+            }
+            if let (Some(wall), Some(cpus)) = (wall_8w, host_cpus) {
+                if cpus >= 8.0 && wall < MIN_SPEEDUP_8W {
+                    f.push(format!(
+                        "wall-clock 8-worker speedup {wall:.2}x below the {MIN_SPEEDUP_8W}x bar \
+                         on a {cpus:.0}-core host"
+                    ));
+                }
+            }
+            if let Some(allocs) = gate_num(doc, "w1", "coord_allocs_per_window", &mut f) {
+                if allocs > MAX_COORD_ALLOCS_PER_WINDOW {
+                    f.push(format!(
+                        "steady-state coordination allocated {allocs:.1}/window \
+                         (> {MAX_COORD_ALLOCS_PER_WINDOW}) — the barrier loop lost its buffer reuse"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            // The digest is only comparable when the baseline ran the same
+            // scenario.
+            if same_config(doc, baseline, &["sites", "hours", "window_secs", "seed"]) {
+                if let Some(digest) = gate_str(doc, "determinism", "digest", &mut f) {
+                    if !baseline.contains(&format!("\"digest\": \"{digest}\"")) {
+                        f.push(format!(
+                            "fleet digest {digest} differs from baseline — simulated behaviour \
+                             drifted; refresh BENCH_fleet.json deliberately"
+                        ));
+                    }
+                }
+            }
+            let run_wps = crate::harness::extract_num(doc, "w1", "windows_per_sec");
+            let base_wps = crate::harness::extract_num(baseline, "w1", "windows_per_sec");
+            if let (Some(run), Some(base)) = (run_wps, base_wps) {
+                if run < 0.7 * base {
+                    f.push(format!(
+                        "single-thread windows/sec regressed >30%: {run:.1} vs baseline {base:.1}"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

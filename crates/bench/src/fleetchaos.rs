@@ -722,6 +722,111 @@ pub fn report_json(r: &FleetChaosReport) -> String {
     j.finish()
 }
 
+/// Declares the fleet-chaos experiment for the unified runner
+/// (`bench --run fleetchaos`): grid, execute, and the gates that used
+/// to live in the `bench` binary's `--fleetchaos` branch. The smoke
+/// tier drops from 64 to 12 campaign pairs (the old CI scale).
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_bool, gate_num, gate_str, same_config, ExpConfig, Experiment};
+    Experiment {
+        name: "fleetchaos",
+        about: "correlated vs independent site-tier campaigns with live inter-site migration",
+        artifact: "BENCH_fleetchaos.json",
+        configs: |scale| {
+            let full = FleetChaosOptions::default();
+            let campaigns =
+                scale
+                    .campaigns
+                    .unwrap_or(if scale.smoke { 12 } else { full.campaigns });
+            vec![ExpConfig::new()
+                .u64("campaigns", campaigns as u64)
+                .u64("sites", full.sites as u64)
+                .u64("regions", full.regions as u64)
+                .u64("hours", full.hours)
+                .u64("window_secs", full.window_secs)
+                .f64("availability_floor", full.availability_floor)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, _alloc_count| {
+            let report = run_fleet_chaos(&FleetChaosOptions {
+                campaigns: cfg.get_u64("campaigns") as usize,
+                seed: cfg.seed(),
+                sites: cfg.get_u64("sites") as usize,
+                regions: cfg.get_u64("regions") as usize,
+                hours: cfg.get_u64("hours"),
+                window_secs: cfg.get_u64("window_secs"),
+                availability_floor: cfg.get_f64("availability_floor"),
+            });
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            for v in crate::harness::extract_list(doc, "violations") {
+                f.push(format!("invariant violation: {v}"));
+            }
+            if let Some(digests_match) = gate_bool(
+                doc,
+                "determinism",
+                "digests_match_all_worker_counts",
+                &mut f,
+            ) {
+                if !digests_match {
+                    f.push(
+                        "campaign digests differ across worker counts — \
+                         conservative sync is leaking nondeterminism"
+                            .to_string(),
+                    );
+                }
+            }
+            let corr = gate_num(doc, "availability", "correlated_mean", &mut f);
+            let indep = gate_num(doc, "availability", "independent_mean", &mut f);
+            if let (Some(corr), Some(indep)) = (corr, indep) {
+                if corr >= indep {
+                    f.push(format!(
+                        "correlated availability {corr:.4} not below independent {indep:.4} — \
+                         the site-tier domain model lost its teeth"
+                    ));
+                }
+            }
+            if let Some(rate) = gate_num(doc, "migration", "live_migration_rate", &mut f) {
+                if rate < MIN_LIVE_MIGRATION_RATE {
+                    f.push(format!(
+                        "only {:.1}% of displaced sessions live-migrated (< {:.0}%)",
+                        rate * 100.0,
+                        MIN_LIVE_MIGRATION_RATE * 100.0
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            if same_config(
+                doc,
+                baseline,
+                &[
+                    "campaigns",
+                    "seed",
+                    "sites",
+                    "regions",
+                    "hours",
+                    "window_secs",
+                ],
+            ) {
+                if let Some(digest) = gate_str(doc, "determinism", "digest", &mut f) {
+                    if !baseline.contains(&format!("\"digest\": \"{digest}\"")) {
+                        f.push(format!(
+                            "fleet-chaos sweep digest {digest} differs from baseline — simulated \
+                             behaviour drifted; refresh BENCH_fleetchaos.json deliberately"
+                        ));
+                    }
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -213,6 +213,60 @@ pub fn extract_num(doc: &str, section: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pulls `"key": "<string>"` out of the JSON `section` object of `doc`
+/// (the artifact vocabulary carries no escapes inside string values).
+pub fn extract_str<'a>(doc: &'a str, section: &str, key: &str) -> Option<&'a str> {
+    let start = doc.find(&format!("\"{section}\""))?;
+    let tail = &doc[start..];
+    let kpos = tail.find(&format!("\"{key}\""))?;
+    let after = &tail[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Pulls `"key": true|false` out of the JSON `section` object of `doc`.
+pub fn extract_bool(doc: &str, section: &str, key: &str) -> Option<bool> {
+    let start = doc.find(&format!("\"{section}\""))?;
+    let tail = &doc[start..];
+    let kpos = tail.find(&format!("\"{key}\""))?;
+    let after = &tail[kpos..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Pulls the string items of the `"key": [ ... ]` array emitted by
+/// [`JsonBuilder::list`] — one quoted item per line, as in the
+/// `violations`/`failures` arrays of the committed artifacts.
+pub fn extract_list(doc: &str, key: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let Some(start) = doc.find(&format!("\"{key}\": [")) else {
+        return items;
+    };
+    let tail = &doc[start..];
+    let Some(open) = tail.find('[') else {
+        return items;
+    };
+    let Some(close) = tail.find(']') else {
+        return items;
+    };
+    for line in tail[open + 1..close].lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(inner) = line.strip_prefix('"').and_then(|l| l.strip_suffix('"')) {
+            items.push(inner.to_string());
+        }
+    }
+    items
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +361,40 @@ mod tests {
         assert_eq!(extract_num(&doc, "stats", "speedup"), Some(4.25));
         assert_eq!(extract_num(&doc, "stats", "windows"), Some(721.0));
         assert_eq!(extract_num(&doc, "stats", "missing"), None);
+    }
+
+    #[test]
+    fn extract_str_bool_and_list_read_builder_output() {
+        let mut j = JsonBuilder::new();
+        j.object("determinism", |j| {
+            j.str("digest", "00c0ffee00c0ffee");
+            j.bool("digests_match", true);
+        });
+        j.int("count", 2);
+        j.list(
+            "violations",
+            &["\"w 3: drop\"".to_string(), "\"w 9: stall\"".to_string()],
+        );
+        let doc = j.finish();
+        assert_eq!(
+            extract_str(&doc, "determinism", "digest"),
+            Some("00c0ffee00c0ffee")
+        );
+        assert_eq!(extract_str(&doc, "determinism", "missing"), None);
+        assert_eq!(
+            extract_bool(&doc, "determinism", "digests_match"),
+            Some(true)
+        );
+        assert_eq!(extract_bool(&doc, "determinism", "digest"), None);
+        assert_eq!(
+            extract_list(&doc, "violations"),
+            vec!["w 3: drop".to_string(), "w 9: stall".to_string()]
+        );
+        assert!(extract_list(&doc, "failures").is_empty());
+
+        let mut j = JsonBuilder::new();
+        j.list("violations", &[]);
+        assert!(extract_list(&j.finish(), "violations").is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod harness;
 pub mod netvalidate;
 pub mod perf;
 pub mod repro;
+pub mod runner;
 pub mod serve;
 pub mod sweep;
 pub mod tracebench;

@@ -618,6 +618,104 @@ pub fn report_json(r: &NetvalReport) -> String {
     j.finish()
 }
 
+/// Declares the fabric cross-validation experiment for the unified
+/// runner (`bench --run netval`): grid, execute, and the gates that
+/// used to live in the `bench` binary's `--netval` branch. The smoke
+/// tier drops from 200 to 64 randomized cases (the old CI scale).
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_num, ExpConfig, Experiment};
+    Experiment {
+        name: "netval",
+        about: "packet-level fabric vs max-min flow model, calibration, incast pacing",
+        artifact: "BENCH_netval.json",
+        configs: |scale| {
+            let full = NetvalOptions::default();
+            let cases = scale
+                .cases
+                .unwrap_or(if scale.smoke { 64 } else { full.cases });
+            vec![ExpConfig::new()
+                .u64("cases", cases as u64)
+                .u64("incast_senders", full.incast_senders as u64)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, _alloc_count| {
+            let report = run_netval(&NetvalOptions {
+                cases: cfg.get_u64("cases") as usize,
+                seed: cfg.seed(),
+                incast_senders: cfg.get_u64("incast_senders") as usize,
+            });
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            for fail in crate::harness::extract_list(doc, "failures") {
+                f.push(format!("cross-validation failure: {fail}"));
+            }
+            if let Some(err) = gate_num(doc, "agreement", "max_rel_err", &mut f) {
+                if err > AGREEMENT_TOLERANCE {
+                    f.push(format!(
+                        "worst packet-vs-flow goodput error {err:.3} exceeds ±{AGREEMENT_TOLERANCE}"
+                    ));
+                }
+            }
+            let cal_err = gate_num(doc, "calibration", "rel_err", &mut f);
+            let goodput = gate_num(doc, "calibration", "goodput_mbps", &mut f);
+            if let (Some(err), Some(goodput)) = (cal_err, goodput) {
+                if err > CALIBRATION_TOLERANCE {
+                    f.push(format!(
+                        "calibrated goodput {goodput:.1} Mbps misses the {:.0} Mbps anchor \
+                         by {err:.3} (> {CALIBRATION_TOLERANCE})",
+                        socc_hw::calib::INTER_SOC_TCP_MBPS
+                    ));
+                }
+            }
+            let unpaced = gate_num(doc, "incast", "unpaced_drops", &mut f);
+            let paced = gate_num(doc, "incast", "paced_drops", &mut f);
+            if let (Some(unpaced), Some(paced)) = (unpaced, paced) {
+                if unpaced == 0.0 {
+                    f.push("unpaced incast burst no longer overflows the port buffer".to_string());
+                }
+                if paced >= unpaced {
+                    f.push(format!(
+                        "pacing no longer reduces incast drops ({paced:.0} paced vs {unpaced:.0} unpaced)"
+                    ));
+                }
+            }
+            if let Some(inflation) = gate_num(doc, "incast", "inflation", &mut f) {
+                if inflation > MAX_PACING_INFLATION {
+                    f.push(format!(
+                        "paced incast completion inflated {inflation:.2}x (> {MAX_PACING_INFLATION}x)"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            let run_factor = gate_num(doc, "calibration", "factor", &mut f);
+            let base_factor = gate_num(baseline, "calibration", "factor", &mut f);
+            if let (Some(run), Some(base)) = (run_factor, base_factor) {
+                if (run - base).abs() > 1e-6 {
+                    f.push(format!(
+                        "calibrated goodput factor drifted: {run:.6} vs baseline {base:.6} — \
+                         the packet engine changed; refresh BENCH_netval.json deliberately"
+                    ));
+                }
+            }
+            let run_err = gate_num(doc, "agreement", "max_rel_err", &mut f);
+            let base_err = gate_num(baseline, "agreement", "max_rel_err", &mut f);
+            if let (Some(run), Some(base)) = (run_err, base_err) {
+                if run > base + 0.02 {
+                    f.push(format!(
+                        "worst agreement error grew: {run:.3} vs baseline {base:.3} (+2pt budget)"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

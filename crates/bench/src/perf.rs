@@ -300,6 +300,83 @@ pub fn comparison_json(incremental: &PerfReport, full: &PerfReport) -> String {
     j.finish()
 }
 
+/// Declares the churn microbenchmark for the unified runner
+/// (`bench --run perf`): grid, execute, and the gates that used to live
+/// in the `bench` binary's `--perf --check` branch.
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_num, ExpConfig, Experiment};
+    Experiment {
+        name: "perf",
+        about: "incremental vs full max-min waterfilling under churn",
+        artifact: "BENCH_net.json",
+        configs: |scale| {
+            vec![ExpConfig::new()
+                .u64("flows", scale.flows.unwrap_or(2000) as u64)
+                .u64("events", scale.events.unwrap_or(1000) as u64)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, alloc_count| {
+            let incremental = churn(
+                &PerfOptions {
+                    flows: cfg.get_u64("flows") as usize,
+                    churn_events: cfg.get_u64("events") as usize,
+                    seed: cfg.seed(),
+                    force_full: false,
+                },
+                alloc_count,
+            );
+            let full = churn(
+                &PerfOptions {
+                    flows: cfg.get_u64("flows") as usize,
+                    churn_events: cfg.get_u64("events") as usize,
+                    seed: cfg.seed(),
+                    force_full: true,
+                },
+                alloc_count,
+            );
+            Ok(comparison_json(&incremental, &full))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            if let Some(ratio) = gate_num(doc, "net_churn", "waterfill_touch_ratio", &mut f) {
+                if ratio < 5.0 {
+                    f.push(format!(
+                        "incremental waterfilling no longer ≥5× cheaper (ratio {ratio:.2})"
+                    ));
+                }
+            }
+            if let Some(allocs) = gate_num(doc, "incremental", "steady_state_allocs", &mut f) {
+                if allocs != 0.0 {
+                    f.push(format!(
+                        "hot path allocated {allocs:.0} times during the measured phase"
+                    ));
+                }
+            }
+            if let Some(drift) = gate_num(doc, "incremental", "final_drift_bps", &mut f) {
+                if drift > 1.0 {
+                    f.push(format!(
+                        "incremental allocation drifted {drift} bps from the reference"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            let run_eps = gate_num(doc, "incremental", "events_per_sec", &mut f);
+            let base_eps = gate_num(baseline, "incremental", "events_per_sec", &mut f);
+            if let (Some(run), Some(base)) = (run_eps, base_eps) {
+                if run < 0.7 * base {
+                    f.push(format!(
+                        "events/sec regressed >30%: {run:.0} vs baseline {base:.0}"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -248,6 +248,9 @@ pub fn serving(opts: &ServeOptions, alloc_count: &dyn Fn() -> u64) -> ServeRepor
     }
 }
 
+/// Serve artifacts render floats at four decimals (one more than the
+/// shared [`crate::harness::json_f64`]) — pinned by the committed
+/// `BENCH_serve.json`.
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -257,44 +260,25 @@ fn json_f64(v: f64) -> String {
 }
 
 impl ServeReport {
-    /// Renders the report as a JSON object (no trailing newline). The
-    /// workspace deliberately carries no JSON dependency, so this is
-    /// hand-rolled (not yet ported onto [`crate::harness::JsonBuilder`]).
-    pub fn to_json(&self) -> String {
+    /// Fills one run's section of the artifact (see [`comparison_json`]).
+    fn fill(&self, j: &mut crate::harness::JsonBuilder) {
         let slo_rates = self
             .slo_rates
             .iter()
             .map(|&r| json_f64(r))
             .collect::<Vec<_>>()
             .join(", ");
-        format!(
-            concat!(
-                "{{\n",
-                "    \"mode\": \"{}\",\n",
-                "    \"engines\": {},\n",
-                "    \"grid_points\": {},\n",
-                "    \"slo_searches\": {},\n",
-                "    \"horizon_secs\": {},\n",
-                "    \"elapsed_secs\": {},\n",
-                "    \"points_per_sec\": {},\n",
-                "    \"steady_state_allocs\": {},\n",
-                "    \"allocs_per_point\": {},\n",
-                "    \"analytic_fallbacks\": {},\n",
-                "    \"slo_rates_fps\": [{}]\n",
-                "  }}"
-            ),
-            self.mode,
-            self.engines,
-            self.grid_points,
-            self.slo_searches,
-            json_f64(self.horizon_secs),
-            json_f64(self.elapsed_secs),
-            json_f64(self.points_per_sec),
-            self.steady_state_allocs,
-            json_f64(self.allocs_per_point),
-            self.analytic_fallbacks,
-            slo_rates,
-        )
+        j.str("mode", self.mode);
+        j.int("engines", self.engines as u64);
+        j.int("grid_points", self.grid_points as u64);
+        j.int("slo_searches", self.slo_searches as u64);
+        j.raw("horizon_secs", &json_f64(self.horizon_secs));
+        j.raw("elapsed_secs", &json_f64(self.elapsed_secs));
+        j.raw("points_per_sec", &json_f64(self.points_per_sec));
+        j.int("steady_state_allocs", self.steady_state_allocs);
+        j.raw("allocs_per_point", &json_f64(self.allocs_per_point));
+        j.int("analytic_fallbacks", self.analytic_fallbacks);
+        j.raw("slo_rates_fps", &format!("[{slo_rates}]"));
     }
 }
 
@@ -338,7 +322,9 @@ fn p99_drift(analytic: &ServeReport, simulation: &ServeReport) -> (f64, f64, usi
 
 /// Renders the `BENCH_serve.json` artifact: both runs plus the headline
 /// speedup (the acceptance bar is ≥ 5×) and the analytic-vs-simulation
-/// drift (must stay within [`P99_DRIFT_TOLERANCE`]).
+/// drift (must stay within [`P99_DRIFT_TOLERANCE`]). Built on the shared
+/// [`crate::harness::JsonBuilder`], which reproduces the retired
+/// hand-rolled emitter's byte format exactly (see the byte-identity test).
 pub fn comparison_json(analytic: &ServeReport, simulation: &ServeReport) -> String {
     let speedup = if analytic.elapsed_secs > 0.0 {
         simulation.elapsed_secs / analytic.elapsed_secs
@@ -358,27 +344,102 @@ pub fn comparison_json(analytic: &ServeReport, simulation: &ServeReport) -> Stri
             }
         })
         .fold(0.0f64, f64::max);
-    format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"dl_serving\",\n",
-            "  \"analytic\": {},\n",
-            "  \"simulation\": {},\n",
-            "  \"speedup\": {},\n",
-            "  \"p99_drift_max\": {},\n",
-            "  \"p99_drift_mean\": {},\n",
-            "  \"p99_drift_points\": {},\n",
-            "  \"slo_rate_drift_max\": {}\n",
-            "}}\n"
-        ),
-        analytic.to_json(),
-        simulation.to_json(),
-        json_f64(speedup),
-        json_f64(drift_max),
-        json_f64(drift_mean),
-        drift_points,
-        json_f64(slo_drift_max),
-    )
+    let mut j = crate::harness::JsonBuilder::new();
+    j.str("benchmark", "dl_serving");
+    j.object("analytic", |j| analytic.fill(j));
+    j.object("simulation", |j| simulation.fill(j));
+    j.raw("speedup", &json_f64(speedup));
+    j.raw("p99_drift_max", &json_f64(drift_max));
+    j.raw("p99_drift_mean", &json_f64(drift_mean));
+    j.int("p99_drift_points", drift_points as u64);
+    j.raw("slo_rate_drift_max", &json_f64(slo_drift_max));
+    j.finish()
+}
+
+/// Declares the DL-serving experiment for the unified runner
+/// (`bench --run serve`): grid, execute, and the gates that used to
+/// live in the `bench` binary's `--serve --check` branch.
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_num, ExpConfig, Experiment};
+    Experiment {
+        name: "serve",
+        about: "analytic M/D/1 fast path vs event simulation on the fig. 11/12 grid",
+        artifact: "BENCH_serve.json",
+        configs: |scale| {
+            let defaults = ServeOptions::default();
+            let slo_ms = defaults
+                .slo_grid_ms
+                .iter()
+                .map(|&s| format!("{s}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            vec![ExpConfig::new()
+                .u64(
+                    "points",
+                    scale.points.unwrap_or(defaults.points_per_engine) as u64,
+                )
+                .f64("horizon_secs", defaults.horizon_secs)
+                .str("slo_ms", &slo_ms)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, alloc_count| {
+            let slo_grid_ms = cfg
+                .get_str("slo_ms")
+                .split(',')
+                .map(|s| s.trim().parse::<f64>())
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(|e| format!("bad slo_ms grid: {e}"))?;
+            let mut opts = ServeOptions {
+                points_per_engine: cfg.get_u64("points") as usize,
+                horizon_secs: cfg.get_f64("horizon_secs"),
+                slo_grid_ms,
+                seed: cfg.seed(),
+                analytic: true,
+            };
+            let analytic = serving(&opts, alloc_count);
+            opts.analytic = false;
+            let simulation = serving(&opts, alloc_count);
+            Ok(comparison_json(&analytic, &simulation))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            if let Some(speedup) = gate_num(doc, "dl_serving", "speedup", &mut f) {
+                if speedup < 5.0 {
+                    f.push(format!(
+                        "analytic path no longer ≥5× faster than simulation (speedup {speedup:.2})"
+                    ));
+                }
+            }
+            if let Some(allocs) = gate_num(doc, "analytic", "steady_state_allocs", &mut f) {
+                if allocs != 0.0 {
+                    f.push(format!(
+                        "analytic hot path allocated {allocs:.0} times during the measured phase"
+                    ));
+                }
+            }
+            if let Some(drift_max) = gate_num(doc, "dl_serving", "p99_drift_max", &mut f) {
+                if drift_max > P99_DRIFT_TOLERANCE {
+                    f.push(format!(
+                        "analytic-vs-simulation p99 drift {drift_max:.3} exceeds {P99_DRIFT_TOLERANCE}"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            let run_pps = gate_num(doc, "analytic", "points_per_sec", &mut f);
+            let base_pps = gate_num(baseline, "analytic", "points_per_sec", &mut f);
+            if let (Some(run), Some(base)) = (run_pps, base_pps) {
+                if run < 0.7 * base {
+                    f.push(format!(
+                        "analytic points/sec regressed >30%: {run:.0} vs baseline {base:.0}"
+                    ));
+                }
+            }
+            f
+        },
+    }
 }
 
 #[cfg(test)]
@@ -462,5 +523,104 @@ mod tests {
         assert!(doc.contains("\"p99_drift_max\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    /// The retired hand-rolled emitter, kept verbatim as the fixture for
+    /// the byte-identity test below (the pattern every JsonBuilder port
+    /// in this workspace follows). Delete only together with that test.
+    fn handrolled_comparison_json(analytic: &ServeReport, simulation: &ServeReport) -> String {
+        fn report_to_json(r: &ServeReport) -> String {
+            let slo_rates = r
+                .slo_rates
+                .iter()
+                .map(|&x| json_f64(x))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                concat!(
+                    "{{\n",
+                    "    \"mode\": \"{}\",\n",
+                    "    \"engines\": {},\n",
+                    "    \"grid_points\": {},\n",
+                    "    \"slo_searches\": {},\n",
+                    "    \"horizon_secs\": {},\n",
+                    "    \"elapsed_secs\": {},\n",
+                    "    \"points_per_sec\": {},\n",
+                    "    \"steady_state_allocs\": {},\n",
+                    "    \"allocs_per_point\": {},\n",
+                    "    \"analytic_fallbacks\": {},\n",
+                    "    \"slo_rates_fps\": [{}]\n",
+                    "  }}"
+                ),
+                r.mode,
+                r.engines,
+                r.grid_points,
+                r.slo_searches,
+                json_f64(r.horizon_secs),
+                json_f64(r.elapsed_secs),
+                json_f64(r.points_per_sec),
+                r.steady_state_allocs,
+                json_f64(r.allocs_per_point),
+                r.analytic_fallbacks,
+                slo_rates,
+            )
+        }
+        let speedup = if analytic.elapsed_secs > 0.0 {
+            simulation.elapsed_secs / analytic.elapsed_secs
+        } else {
+            f64::INFINITY
+        };
+        let (drift_max, drift_mean, drift_points) = p99_drift(analytic, simulation);
+        let slo_drift_max = analytic
+            .slo_rates
+            .iter()
+            .zip(simulation.slo_rates.iter())
+            .map(|(&a, &s)| {
+                if a.max(s) > 0.0 {
+                    (a - s).abs() / a.max(s)
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0f64, f64::max);
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"dl_serving\",\n",
+                "  \"analytic\": {},\n",
+                "  \"simulation\": {},\n",
+                "  \"speedup\": {},\n",
+                "  \"p99_drift_max\": {},\n",
+                "  \"p99_drift_mean\": {},\n",
+                "  \"p99_drift_points\": {},\n",
+                "  \"slo_rate_drift_max\": {}\n",
+                "}}\n"
+            ),
+            report_to_json(analytic),
+            report_to_json(simulation),
+            json_f64(speedup),
+            json_f64(drift_max),
+            json_f64(drift_mean),
+            drift_points,
+            json_f64(slo_drift_max),
+        )
+    }
+
+    #[test]
+    fn builder_port_is_byte_identical_to_the_handrolled_emitter() {
+        let a = serving(&small(true), &|| 0);
+        let s = serving(&small(false), &|| 0);
+        assert_eq!(comparison_json(&a, &s), handrolled_comparison_json(&a, &s));
+        // Degenerate shapes too: zero elapsed (null speedup) and empty
+        // SLO grids (inline empty array).
+        let mut zero = a.clone();
+        zero.elapsed_secs = 0.0;
+        zero.slo_rates.clear();
+        let mut sim = s.clone();
+        sim.slo_rates.clear();
+        assert_eq!(
+            comparison_json(&zero, &sim),
+            handrolled_comparison_json(&zero, &sim)
+        );
     }
 }

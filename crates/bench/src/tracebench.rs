@@ -243,6 +243,82 @@ pub fn report_json(r: &TraceReport) -> String {
     j.finish()
 }
 
+/// Declares the trace-overhead experiment for the unified runner
+/// (`bench --run trace`): grid, execute, and the gates that used to
+/// live in the `bench` binary's `--trace` branch.
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_num, gate_str, ExpConfig, Experiment};
+    Experiment {
+        name: "trace",
+        about: "structured-span recording and engine overhead vs spans-off",
+        artifact: "BENCH_trace.json",
+        configs: |scale| {
+            let full = TraceOptions::default();
+            vec![ExpConfig::new()
+                .u64("record_calls", full.record_calls as u64)
+                .u64("ring_capacity", full.ring_capacity as u64)
+                .u64("reps", scale.reps.unwrap_or(full.reps) as u64)
+                .u64("streams", full.streams as u64)
+                .u64("horizon_secs", full.horizon_secs)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, alloc_count| {
+            let report = trace_overhead(
+                &TraceOptions {
+                    record_calls: cfg.get_u64("record_calls") as usize,
+                    ring_capacity: cfg.get_u64("ring_capacity") as usize,
+                    reps: cfg.get_u64("reps") as usize,
+                    streams: cfg.get_u64("streams") as usize,
+                    horizon_secs: cfg.get_u64("horizon_secs"),
+                    seed: cfg.seed(),
+                },
+                alloc_count,
+            );
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            if let Some(pct) = gate_num(doc, "engine_overhead", "overhead_pct", &mut f) {
+                if pct > MAX_OVERHEAD_PCT {
+                    f.push(format!(
+                        "spans-on engine overhead {pct:.2}% exceeds {MAX_OVERHEAD_PCT}% budget"
+                    ));
+                }
+            }
+            for key in ["allocs_enabled", "allocs_disabled"] {
+                if let Some(allocs) = gate_num(doc, "recording", key, &mut f) {
+                    if allocs != 0.0 {
+                        f.push(format!("{key} recording path allocated {allocs:.0} times"));
+                    }
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            let run_events = gate_num(doc, "engine_overhead", "events_captured", &mut f);
+            let base_events = gate_num(baseline, "engine_overhead", "events_captured", &mut f);
+            if let (Some(run), Some(base)) = (run_events, base_events) {
+                if run != base {
+                    f.push(format!(
+                        "events captured changed: {run:.0} vs baseline {base:.0} — \
+                         instrumentation drifted; refresh BENCH_trace.json deliberately"
+                    ));
+                }
+            }
+            if let Some(digest) = gate_str(doc, "engine_overhead", "digest", &mut f) {
+                if !baseline.contains(&format!("\"digest\": \"{digest}\"")) {
+                    f.push(format!(
+                        "event-log digest {digest} differs from baseline — \
+                         recorded content drifted; refresh BENCH_trace.json deliberately"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

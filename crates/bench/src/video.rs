@@ -309,6 +309,127 @@ pub fn report_json(report: &VideoBenchReport) -> String {
     j.finish()
 }
 
+/// Declares the live-transcoding-farm experiment for the unified runner
+/// (`bench --run video`): grid, execute, and the gates that used to
+/// live in the `bench` binary's `--video` branch.
+pub fn experiment() -> crate::runner::Experiment {
+    use crate::runner::{gate_bool, gate_num, gate_str, same_config, ExpConfig, Experiment};
+    Experiment {
+        name: "video",
+        about: "analytic farm-day fast path vs tick simulation with a peak board fault",
+        artifact: "BENCH_video.json",
+        configs: |scale| {
+            vec![ExpConfig::new()
+                .u64(
+                    "socs",
+                    scale.socs.unwrap_or(socc_hw::calib::CLUSTER_SOC_COUNT) as u64,
+                )
+                .u64("horizon_secs", scale.hours.unwrap_or(24) * 3600)
+                .f64("peak_arrivals_per_hour", scale.peak.unwrap_or(500.0))
+                .u64("reps", scale.reps.unwrap_or(5).min(5) as u64)
+                .u64("seed", crate::harness::mix_seed(scale.seed, 0))]
+        },
+        execute: |cfg, alloc_count| {
+            let report = run_video(
+                &VideoOptions {
+                    socs: cfg.get_u64("socs") as usize,
+                    horizon_secs: cfg.get_u64("horizon_secs"),
+                    peak_arrivals_per_hour: cfg.get_f64("peak_arrivals_per_hour"),
+                    seed: cfg.seed(),
+                    reps: cfg.get_u64("reps") as usize,
+                },
+                alloc_count,
+            );
+            Ok(report_json(&report))
+        },
+        gates: |doc| {
+            let mut f = Vec::new();
+            if let Some(speedup) = gate_num(doc, "video_farm", "speedup", &mut f) {
+                if speedup < MIN_SPEEDUP {
+                    f.push(format!(
+                        "analytic fast path no longer ≥{MIN_SPEEDUP}× over simulation \
+                         (speedup {speedup:.2})"
+                    ));
+                }
+            }
+            if let Some(allocs) = gate_num(doc, "analytic", "steady_allocs", &mut f) {
+                if allocs != 0.0 {
+                    f.push(format!("analytic quiet spans allocated {allocs:.0} times"));
+                }
+            }
+            let digest_match = gate_bool(doc, "agreement", "digest_match", &mut f);
+            let counters_match = gate_bool(doc, "agreement", "counters_match", &mut f);
+            let integral_err = gate_num(doc, "agreement", "integral_rel_err", &mut f);
+            let energy_err = gate_num(doc, "agreement", "energy_rel_err", &mut f);
+            let agree = digest_match == Some(true)
+                && counters_match == Some(true)
+                && integral_err.is_some_and(|e| e <= INTEGRAL_REL_TOL)
+                && energy_err.is_some_and(|e| e <= FAN_ENERGY_REL_TOL);
+            if !agree {
+                f.push(format!(
+                    "analytic and simulation modes disagree (digest match: {digest_match:?}, \
+                     counters match: {counters_match:?}, integral err {integral_err:?}, \
+                     energy err {energy_err:?})"
+                ));
+            }
+            if let Some(migrations) = gate_num(doc, "migration", "migrations", &mut f) {
+                if migrations == 0.0 {
+                    f.push("board fault migrated no live sessions".to_string());
+                }
+            }
+            let horizon = gate_num(doc, "config", "horizon_secs", &mut f);
+            let at_fault = gate_num(doc, "farm", "concurrent_at_fault", &mut f);
+            if let (Some(horizon), Some(at_fault)) = (horizon, at_fault) {
+                if horizon >= 86_400.0 && (at_fault as usize) < MIN_LIVE_AT_FAULT {
+                    f.push(format!(
+                        "fault struck only {at_fault:.0} live sessions (< {MIN_LIVE_AT_FAULT}) \
+                         on the full day"
+                    ));
+                }
+            }
+            f
+        },
+        baseline_gates: |doc, baseline| {
+            let mut f = Vec::new();
+            if !same_config(
+                doc,
+                baseline,
+                &["socs", "horizon_secs", "peak_arrivals_per_hour", "seed"],
+            ) {
+                return f;
+            }
+            if let Some(digest) = gate_str(doc, "farm", "digest", &mut f) {
+                if !baseline.contains(&format!("\"digest\": \"{digest}\"")) {
+                    f.push(format!(
+                        "farm digest {digest} differs from baseline — placement behaviour \
+                         drifted; refresh BENCH_video.json deliberately"
+                    ));
+                }
+            }
+            let run_e = gate_num(doc, "energy", "per_session_hour_j", &mut f);
+            let base_e = gate_num(baseline, "energy", "per_session_hour_j", &mut f);
+            if let (Some(run), Some(base)) = (run_e, base_e) {
+                if (run - base).abs() > 1e-3 + 1e-6 * base.abs() {
+                    f.push(format!(
+                        "per-session energy drifted: {run:.3} J/session-hour vs baseline \
+                         {base:.3} — the power model changed; refresh BENCH_video.json deliberately"
+                    ));
+                }
+            }
+            let run_ms = crate::harness::extract_num(doc, "analytic", "elapsed_ms");
+            let base_ms = crate::harness::extract_num(baseline, "analytic", "elapsed_ms");
+            if let (Some(run), Some(base)) = (run_ms, base_ms) {
+                if run > 1.3 * base {
+                    f.push(format!(
+                        "analytic farm-day regressed >30%: {run:.1} ms vs baseline {base:.1} ms"
+                    ));
+                }
+            }
+            f
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
